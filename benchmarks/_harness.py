@@ -1,0 +1,58 @@
+"""Shared machinery for the table/figure reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+simulated machine, prints the rows, writes them under
+``benchmarks/results/`` and asserts the paper's qualitative *shape*
+(who wins, what grows, where the crossovers are).  Absolute numbers
+differ from 1997 hardware; EXPERIMENTS.md records both sides.
+
+Scales: runs use reduced grid systems (see each module) so the full
+suite finishes in minutes; ``REPRO_BENCH_SCALE`` in the environment
+overrides the default scale for heavier runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core import OverflowD1, speedup_table
+from repro.core.performance import PerformanceTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale(default: float) -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def run_sweep(case_fn, machine_fn, node_counts, scale, nsteps, **case_kw):
+    """Run one case over several node counts on one machine; returns
+    (runs, total_gridpoints)."""
+    runs = []
+    total = None
+    for nodes in node_counts:
+        cfg = case_fn(machine=machine_fn(nodes=nodes), scale=scale,
+                      nsteps=nsteps, **case_kw)
+        total = cfg.total_gridpoints
+        runs.append(OverflowD1(cfg).run())
+    return runs, total
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def table_text(runs, total_gridpoints) -> tuple[PerformanceTable, str]:
+    table = speedup_table(runs, total_gridpoints)
+    return table, table.format()
+
+
+def emit_csv(name: str, table: PerformanceTable) -> None:
+    """Persist the figure series (speedup curves) as CSV."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.csv").write_text(table.to_csv() + "\n")

@@ -1,0 +1,88 @@
+"""Ablation: prime-factor (near-cubic) decomposition vs 1-D strips.
+
+The paper's static routine "forms subdomains which have index spaces
+that are as close to cubic as possible, thereby minimizing the surface
+area in order to minimize communication" (section 3.0, Fig. 4).  This
+bench quantifies that choice: total halo points and the simulated
+flow-phase time of an airfoil run under each decomposition.
+"""
+
+import pytest
+
+from benchmarks._harness import bench_scale, emit
+from repro.cases import airfoil_case
+from repro.core import OverflowD1
+from repro.core.overflow_d1 import PHASE_FLOW
+from repro.machine import sp2
+from repro.partition import (
+    prime_factor_decompose,
+    strip_decompose,
+    total_halo_points,
+)
+
+SCALE = bench_scale(1.0)
+
+
+@pytest.mark.benchmark(group="ablation-decomposition")
+def test_halo_volume_comparison(benchmark):
+    def compare():
+        rows = []
+        for dims in ((146, 146), (241, 89), (64, 64, 64)):
+            for nparts in (8, 16):
+                pf = total_halo_points(
+                    prime_factor_decompose(dims, nparts), dims
+                )
+                strip = total_halo_points(
+                    strip_decompose(dims, nparts), dims
+                )
+                rows.append((dims, nparts, pf, strip, strip / pf))
+        lines = [f"{'dims':>16} {'parts':>6} {'prime-factor':>13} "
+                 f"{'strips':>8} {'ratio':>6}"]
+        for dims, nparts, pf, strip, ratio in rows:
+            lines.append(
+                f"{str(dims):>16} {nparts:>6d} {pf:>13d} {strip:>8d} "
+                f"{ratio:>6.2f}"
+            )
+        emit("ablation_decomposition", "\n".join(lines))
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    for dims, nparts, pf, strip, ratio in rows:
+        assert pf <= strip
+    # For square 2-D grids at 16 parts the advantage is large.
+    square16 = [r for r in rows if r[0] == (146, 146) and r[1] == 16][0]
+    assert square16[4] > 1.5
+
+
+@pytest.mark.benchmark(group="ablation-decomposition")
+def test_flow_phase_time_with_strips(benchmark):
+    """End-to-end: the halo traffic difference shows up in the
+    simulated flow-phase time."""
+    import repro.partition.assignment as assignment
+    from repro.partition.decompose import (
+        prime_factor_decompose as pf_decompose,
+    )
+
+    def run_with(decomposer):
+        original = assignment.prime_factor_decompose
+        assignment.prime_factor_decompose = decomposer
+        try:
+            cfg = airfoil_case(machine=sp2(nodes=16), scale=SCALE, nsteps=3)
+            return OverflowD1(cfg).run()
+        finally:
+            assignment.prime_factor_decompose = original
+
+    def compare():
+        near_cubic = run_with(pf_decompose)
+        strips = run_with(strip_decompose)
+        return near_cubic, strips
+
+    near_cubic, strips = benchmark.pedantic(compare, rounds=1, iterations=1)
+    t_pf = near_cubic.phase_elapsed(PHASE_FLOW)
+    t_strip = strips.phase_elapsed(PHASE_FLOW)
+    emit(
+        "ablation_decomposition_flow",
+        f"flow-phase elapsed (3 steps): near-cubic {t_pf:.4f} s, "
+        f"strips {t_strip:.4f} s",
+    )
+    assert t_pf <= t_strip * 1.02  # strips never beat near-cubic

@@ -1,0 +1,69 @@
+"""Ablation: the load-balance factor f0 (paper section 3.0).
+
+"The user-specified value of f0 acts as a weight to control the desired
+degree of load balance in either the flow solution or connectivity
+solution": f0 ~ inf keeps the static (flow-optimal) partition, f0 ~ 1
+keeps re-optimising for connectivity at the flow solver's expense, and
+"in practice, the 'best' value of f0 is problem dependent".  The paper
+picked f0 = 5 for the store case after observing f(p) ~ 7.
+
+This sweep maps the tradeoff: flow time, DCF3D time and combined time
+per step across f0 on the store-separation case.
+"""
+
+import math
+
+import pytest
+
+from benchmarks._harness import bench_scale, emit
+from repro.cases import store_case
+from repro.core import OverflowD1
+from repro.core.overflow_d1 import PHASE_DCF, PHASE_FLOW
+from repro.machine import sp2
+
+SCALE = bench_scale(0.15)
+NSTEPS = 8
+NODES = 28
+F0_VALUES = [math.inf, 7.0, 5.0, 3.0, 1.5]
+
+
+@pytest.mark.benchmark(group="ablation-f0")
+def test_f0_tradeoff_sweep(benchmark):
+    def sweep():
+        rows = []
+        for f0 in F0_VALUES:
+            cfg = store_case(machine=sp2(nodes=NODES), scale=SCALE,
+                             nsteps=NSTEPS, f0=f0)
+            cfg.lb_check_interval = 2
+            r = OverflowD1(cfg).run()
+            rows.append(
+                {
+                    "f0": f0,
+                    "flow": r.phase_elapsed(PHASE_FLOW) / NSTEPS,
+                    "dcf": r.phase_elapsed(PHASE_DCF) / NSTEPS,
+                    "combined": r.time_per_step,
+                    "partitions": len(r.partition_history),
+                }
+            )
+        lines = [f"{'f0':>6} {'flow s':>8} {'dcf s':>8} {'combined':>9} "
+                 f"{'repartitions':>13}"]
+        for row in rows:
+            f0s = "inf" if math.isinf(row["f0"]) else f"{row['f0']:.1f}"
+            lines.append(
+                f"{f0s:>6} {row['flow']:>8.4f} {row['dcf']:>8.4f} "
+                f"{row['combined']:>9.4f} {row['partitions'] - 1:>13d}"
+            )
+        emit("ablation_f0_sweep", "\n".join(lines))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    static = rows[0]
+    aggressive = rows[-1]
+
+    # Aggressive rebalancing must actually move processors around.
+    assert aggressive["partitions"] > 1
+    # The paper's tradeoff: somewhere in the sweep the dynamic scheme
+    # improves DCF3D relative to static...
+    assert min(r["dcf"] for r in rows[1:]) < static["dcf"] * 1.02
+    # ...while the flow solver never improves (it only gives ground).
+    assert all(r["flow"] >= static["flow"] * 0.98 for r in rows[1:])

@@ -1,0 +1,58 @@
+"""Ablation: nth-level restart on vs off (paper section 2.2).
+
+Barszcz's warm start "was found to yield a considerable reduction in
+the time spent in the connectivity solution" because the
+stability-limited timestep moves donors by less than one receiving-grid
+cell per step.  This bench runs the oscillating-airfoil case with and
+without the restart cache and compares walk-step counts and the
+simulated DCF3D time.
+"""
+
+import pytest
+
+from benchmarks._harness import bench_scale, emit
+from repro.cases import airfoil_case
+from repro.core import OverflowD1
+from repro.core.overflow_d1 import PHASE_DCF
+from repro.machine import sp2
+
+SCALE = bench_scale(0.5)
+NSTEPS = 5
+
+
+@pytest.mark.benchmark(group="ablation-restart")
+def test_restart_reduces_connectivity_cost(benchmark):
+    def compare():
+        out = {}
+        for label, use_restart in (("restart", True), ("cold", False)):
+            cfg = airfoil_case(machine=sp2(nodes=12), scale=SCALE,
+                               nsteps=NSTEPS)
+            cfg.use_restart = use_restart
+            out[label] = OverflowD1(cfg).run()
+        return out
+
+    result = benchmark.pedantic(compare, rounds=1, iterations=1)
+    warm, cold = result["restart"], result["cold"]
+    warm_steps = sum(e.search_steps_total for e in warm.epochs)
+    cold_steps = sum(e.search_steps_total for e in cold.epochs)
+    warm_dcf = warm.phase_elapsed(PHASE_DCF) / NSTEPS
+    cold_dcf = cold.phase_elapsed(PHASE_DCF) / NSTEPS
+
+    emit(
+        "ablation_restart",
+        "\n".join(
+            [
+                f"{'':>10} {'walk steps':>11} {'dcf3d s/step':>13} "
+                f"{'%dcf3d':>7}",
+                f"{'restart':>10} {warm_steps:>11d} {warm_dcf:>13.4f} "
+                f"{warm.pct_dcf3d:>7.1f}",
+                f"{'cold':>10} {cold_steps:>11d} {cold_dcf:>13.4f} "
+                f"{cold.pct_dcf3d:>7.1f}",
+            ]
+        ),
+    )
+
+    # The paper's "considerable reduction".
+    assert warm_steps < 0.5 * cold_steps
+    assert warm_dcf < cold_dcf
+    benchmark.extra_info["step_reduction"] = round(cold_steps / warm_steps, 1)

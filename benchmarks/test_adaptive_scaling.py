@@ -1,0 +1,73 @@
+"""Section-5 scaling claim: the coarse-grain adaptive scheme scales.
+
+"Since the vast majority of the interpolation donors will exist in
+Cartesian grid components in this type of discretization, the approach
+should scale well."  The bench runs the X-38-like adaptive system on
+increasing simulated node counts and checks (a) near-ideal flow-phase
+scaling, (b) a small connectivity share at every count — contrast this
+with the OVERFLOW-D1 store case where %DCF3D reaches 30-40%.
+"""
+
+import pytest
+
+from benchmarks._harness import emit
+from repro.adapt import AdaptiveDriver
+from repro.cases import x38_adaptive_system, x38_near_body_grids
+from repro.grids import AABB
+from repro.machine import sp2
+
+NODE_COUNTS = [2, 4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def body_fn():
+    near = x38_near_body_grids(scale=0.05)
+    boxes0 = [g.bounding_box() for g in near]
+
+    def bodies(step):
+        dx = 0.05 * step
+        return [
+            AABB(b.lo + [dx, 0, 0], b.hi + [dx, 0, 0]) for b in boxes0
+        ]
+
+    return bodies
+
+
+@pytest.mark.benchmark(group="adaptive-scaling")
+def test_adaptive_scheme_scales(benchmark, body_fn):
+    def sweep():
+        rows = []
+        for nodes in NODE_COUNTS:
+            system = x38_adaptive_system(max_level=2, points_per_brick=7)
+            system.adapt(body_fn(0), margin=0.1)
+            drv = AdaptiveDriver(system, sp2(nodes=nodes))
+            r = drv.run(nsteps=8, body_boxes_fn=body_fn, adapt_interval=4)
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "t/step": r.time_per_step,
+                    "connect%": 100 * r.phase_fraction("connect"),
+                    "adapt%": 100 * r.phase_fraction("adapt"),
+                    "bricks": r.final_bricks,
+                    "imbalance": r.group_imbalance,
+                }
+            )
+        lines = [f"{'nodes':>6} {'t/step':>9} {'connect%':>9} "
+                 f"{'adapt%':>7} {'bricks':>7} {'imbalance':>10}"]
+        for r in rows:
+            lines.append(
+                f"{r['nodes']:>6d} {r['t/step']:>9.4f} {r['connect%']:>9.1f} "
+                f"{r['adapt%']:>7.2f} {r['bricks']:>7d} "
+                f"{r['imbalance']:>10.3f}"
+            )
+        emit("adaptive_scaling", "\n".join(lines))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    speedup = rows[0]["t/step"] / rows[-1]["t/step"]
+    ideal = NODE_COUNTS[-1] / NODE_COUNTS[0]
+    # Near-ideal scaling over 2 -> 16 nodes (>= 60% efficiency).
+    assert speedup > 0.6 * ideal
+    # Connectivity stays a small share at every node count — the
+    # scheme's whole point versus the OVERFLOW-D1 cases.
+    assert all(r["connect%"] < 20.0 for r in rows)

@@ -1,0 +1,100 @@
+"""Table 1 / Figure 5: 2-D oscillating airfoil parallel performance.
+
+Paper (SP2 / SP, 6-24 nodes, static LB, f0 = inf):
+
+* Mflops/node ~ 23 -> 11 (SP2) and 31 -> 16 (SP) as nodes grow;
+* parallel speedup 1 -> ~3.7 from 6 to 24 nodes (ideal 4);
+* %time in DCF3D stays a modest slice (10-15%) and DCF3D's own
+  speedup is visibly worse than OVERFLOW's (Fig. 5).
+
+The benchmark runs the real distributed protocol at the paper's full
+64K-point size and asserts those shapes.
+"""
+
+import pytest
+
+from benchmarks._harness import bench_scale, emit, emit_csv, run_sweep, table_text
+from repro.cases import airfoil_case
+from repro.machine import sp, sp2
+
+NODE_COUNTS = [6, 9, 12, 18, 24]
+SCALE = bench_scale(1.0)  # the paper's actual problem size
+NSTEPS = 5
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    out = {}
+    for name, machine_fn in (("SP2", sp2), ("SP", sp)):
+        runs, total = run_sweep(
+            airfoil_case, machine_fn, NODE_COUNTS, SCALE, NSTEPS
+        )
+        out[name] = table_text(runs, total)
+    return out
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_airfoil(benchmark, sweeps):
+    def report():
+        for name, (table, text) in sweeps.items():
+            emit(f"table1_{name.lower()}", text)
+            emit_csv(f"figure5_{name.lower()}", table)
+        return sweeps
+
+    result = benchmark.pedantic(report, rounds=1, iterations=1)
+
+    for name, (table, _) in result.items():
+        rows = table.rows
+        # Overall speedup grows monotonically with node count.
+        speedups = [r["speedup"] for r in rows]
+        assert speedups == sorted(speedups)
+        # 6 -> 24 nodes: speedup in the ballpark of the paper's ~3.7
+        # (ideal 4); accept a generous band.
+        assert 2.0 < speedups[-1] <= 4.6
+        # DCF3D remains a minority of the time on every partition.
+        assert all(r["%dcf3d"] < 50.0 for r in rows)
+        benchmark.extra_info[f"{name}_speedup_24n"] = speedups[-1]
+        benchmark.extra_info[f"{name}_pct_dcf3d"] = [
+            round(r["%dcf3d"], 1) for r in rows
+        ]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_figure5_module_speedups(benchmark, sweeps):
+    """Fig. 5's key visual: DCF3D scales worse than OVERFLOW."""
+
+    def series():
+        return {
+            name: [
+                (r["nodes"], r["speedup_overflow"], r["speedup_dcf3d"])
+                for r in table.rows
+            ]
+            for name, (table, _) in sweeps.items()
+        }
+
+    result = benchmark.pedantic(series, rounds=1, iterations=1)
+    for name, rows in result.items():
+        _, flow_top, dcf_top = rows[-1]
+        assert flow_top > dcf_top, (
+            f"{name}: OVERFLOW must out-scale DCF3D "
+            f"(flow {flow_top:.2f} vs dcf {dcf_top:.2f})"
+        )
+        # OVERFLOW alone approaches the ideal slope.
+        assert flow_top > 2.5
+
+
+@pytest.mark.benchmark(group="table1")
+def test_sp_outperforms_sp2(benchmark, sweeps):
+    """The SP's faster nodes/network beat the SP2 at every count."""
+
+    def compare():
+        sp2_rows = sweeps["SP2"][0].rows
+        sp_rows = sweeps["SP"][0].rows
+        return [
+            (a["nodes"], a["time/step(s)"], b["time/step(s)"])
+            for a, b in zip(sp2_rows, sp_rows)
+        ]
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    for nodes, t_sp2, t_sp in rows:
+        assert t_sp < t_sp2

@@ -1,0 +1,93 @@
+"""Table 2: the oscillating-airfoil scale-up study.
+
+Paper: the original grids are coarsened (remove every other point, /4)
+and refined (insert midpoints, x4), run on 3 / 12 / 48 nodes so the
+points-per-node stays ~5100.  Findings:
+
+* time/step grows modestly with problem size (weak-scaling loss);
+* the %time in DCF3D roughly doubles from the coarsened 3-node case to
+  the refined 48-node case (10% -> 23% on the SP2) — "the connectivity
+  solution may become a more dominant parallel cost for larger
+  problems".
+"""
+
+import pytest
+
+from benchmarks._harness import bench_scale, emit
+from repro.cases import airfoil_case
+from repro.cases.airfoil import airfoil_fringe_layers, airfoil_grids
+from repro.core import OverflowD1
+from repro.machine import sp2
+
+SCALE = bench_scale(1.0)
+NSTEPS = 4
+
+
+def build_cases():
+    base = airfoil_grids(SCALE)
+    return [
+        ("coarsened", [g.coarsened() for g in base], 3,
+         max(1, airfoil_fringe_layers(SCALE) // 2)),
+        ("original", base, 12, airfoil_fringe_layers(SCALE)),
+        ("refined", [g.refined() for g in base], 48,
+         2 * airfoil_fringe_layers(SCALE)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def scaleup_rows():
+    rows = []
+    for name, grids, nodes, fringe in build_cases():
+        cfg = airfoil_case(
+            machine=sp2(nodes=nodes), scale=SCALE, nsteps=NSTEPS,
+            grids=grids, fringe_layers=fringe,
+        )
+        r = OverflowD1(cfg).run()
+        rows.append(
+            {
+                "case": name,
+                "nodes": nodes,
+                "gridpoints": cfg.total_gridpoints,
+                "points/node": cfg.total_gridpoints / nodes,
+                "time/step": r.time_per_step,
+                "%dcf3d": r.pct_dcf3d,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_scaleup(benchmark, scaleup_rows):
+    def report():
+        lines = [
+            f"{'case':>10} {'nodes':>6} {'points':>8} {'pts/node':>9} "
+            f"{'time/step':>10} {'%dcf3d':>7}"
+        ]
+        for r in scaleup_rows:
+            lines.append(
+                f"{r['case']:>10} {r['nodes']:>6d} {r['gridpoints']:>8d} "
+                f"{r['points/node']:>9.0f} {r['time/step']:>10.4f} "
+                f"{r['%dcf3d']:>7.1f}"
+            )
+        emit("table2_scaleup", "\n".join(lines))
+        return scaleup_rows
+
+    rows = benchmark.pedantic(report, rounds=1, iterations=1)
+    coarse, original, refined = rows
+
+    # Scale-up construction: ~4x points between cases.
+    assert refined["gridpoints"] > 3.0 * original["gridpoints"]
+    assert original["gridpoints"] > 3.0 * coarse["gridpoints"]
+    # Points per node roughly constant (the paper holds ~5100).
+    ppn = [r["points/node"] for r in rows]
+    assert max(ppn) / min(ppn) < 1.6
+
+    # Paper shape 1: time/step increases with problem size.
+    assert refined["time/step"] > coarse["time/step"]
+    # Paper shape 2: DCF3D's share grows from the coarsened to the
+    # refined case (the paper measures ~2.2x).
+    assert refined["%dcf3d"] > 1.2 * coarse["%dcf3d"]
+    benchmark.extra_info["pct_dcf3d"] = [round(r["%dcf3d"], 1) for r in rows]
+    benchmark.extra_info["time_per_step"] = [
+        round(r["time/step"], 4) for r in rows
+    ]

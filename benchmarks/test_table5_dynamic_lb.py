@@ -1,0 +1,139 @@
+"""Table 5 / Figure 11: dynamic load balance on the store case (SP2).
+
+Paper (f0 = 5, chosen because the worst observed connectivity imbalance
+was f(p) ~ 7):
+
+* the dynamic scheme improves DCF3D: its %time grows only 1.35x from
+  16 to 52 nodes instead of 2.0x static, and its speedup improves
+  (4.10 vs 3.28 at 52 nodes);
+* the improvement costs OVERFLOW performance, and since the flow solve
+  is >= two-thirds of the total the *combined* performance is better
+  with the static scheme (by 15-25%);
+* at 16 nodes (16 grids, one processor each) the two schemes coincide.
+"""
+
+import math
+
+import pytest
+
+from benchmarks._harness import RESULTS_DIR, bench_scale, emit
+from repro.cases import store_case
+from repro.core import OverflowD1
+from repro.core.overflow_d1 import PHASE_DCF, PHASE_FLOW
+from repro.machine import sp2
+
+NODE_COUNTS = [16, 18, 28, 52]
+SCALE = bench_scale(0.15)
+NSTEPS = 8
+
+
+def run_one(nodes: int, f0: float):
+    cfg = store_case(machine=sp2(nodes=nodes), scale=SCALE,
+                     nsteps=NSTEPS, f0=f0)
+    cfg.lb_check_interval = 2
+    return OverflowD1(cfg).run()
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    rows = []
+    for nodes in NODE_COUNTS:
+        static = run_one(nodes, math.inf)
+        dynamic = run_one(nodes, 5.0)
+        rows.append(
+            {
+                "nodes": nodes,
+                "static": static,
+                "dynamic": dynamic,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_dynamic_vs_static(benchmark, comparison):
+    def report():
+        lines = [
+            f"{'nodes':>6} {'%dcf stat':>10} {'%dcf dyn':>9} "
+            f"{'dcf t/s stat':>13} {'dcf t/s dyn':>12} "
+            f"{'t/step stat':>12} {'t/step dyn':>11}"
+        ]
+        for row in comparison:
+            s, d = row["static"], row["dynamic"]
+            lines.append(
+                f"{row['nodes']:>6d} {s.pct_dcf3d:>10.1f} {d.pct_dcf3d:>9.1f} "
+                f"{s.phase_elapsed(PHASE_DCF)/NSTEPS:>13.4f} "
+                f"{d.phase_elapsed(PHASE_DCF)/NSTEPS:>12.4f} "
+                f"{s.time_per_step:>12.4f} {d.time_per_step:>11.4f}"
+            )
+        emit("table5_dynamic_lb", "\n".join(lines))
+        # Figure-11 series: per-module time curves for both schemes.
+        csv = ["nodes,flow_static,flow_dynamic,dcf_static,dcf_dynamic,"
+               "combined_static,combined_dynamic"]
+        for row in comparison:
+            s, d = row["static"], row["dynamic"]
+            csv.append(
+                f"{row['nodes']},"
+                f"{s.phase_elapsed(PHASE_FLOW)/NSTEPS:.6g},"
+                f"{d.phase_elapsed(PHASE_FLOW)/NSTEPS:.6g},"
+                f"{s.phase_elapsed(PHASE_DCF)/NSTEPS:.6g},"
+                f"{d.phase_elapsed(PHASE_DCF)/NSTEPS:.6g},"
+                f"{s.time_per_step:.6g},{d.time_per_step:.6g}"
+            )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "figure11_store.csv").write_text("\n".join(csv) + "\n")
+        return comparison
+
+    rows = benchmark.pedantic(report, rounds=1, iterations=1)
+
+    # 16 nodes / 16 grids: no processor to move, schemes coincide (up
+    # to the epoch-boundary resynchronisation of the dynamic run).
+    base = rows[0]
+    assert base["static"].time_per_step == pytest.approx(
+        base["dynamic"].time_per_step, rel=1e-3
+    )
+
+    # The dynamic scheme actually repartitions at larger counts.
+    repartitioned = [
+        row for row in rows[1:]
+        if len(row["dynamic"].partition_history) > 1
+    ]
+    assert repartitioned, "Algorithm 2 never fired"
+
+    # Paper shape: at some mid-size partition the dynamic scheme
+    # reduces the DCF3D time per step relative to static.
+    improvements = [
+        row["static"].phase_elapsed(PHASE_DCF)
+        - row["dynamic"].phase_elapsed(PHASE_DCF)
+        for row in rows[1:]
+    ]
+    assert max(improvements) > 0, "dynamic LB never helped DCF3D"
+
+    benchmark.extra_info["pct_dcf3d_static"] = [
+        round(r["static"].pct_dcf3d, 1) for r in rows
+    ]
+    benchmark.extra_info["pct_dcf3d_dynamic"] = [
+        round(r["dynamic"].pct_dcf3d, 1) for r in rows
+    ]
+
+
+@pytest.mark.benchmark(group="table5")
+def test_figure11_flow_penalty(benchmark, comparison):
+    """Fig. 11's other half: rebalancing for connectivity costs the
+    flow solver (its elapsed time does not improve)."""
+
+    def flow_times():
+        return [
+            (
+                row["nodes"],
+                row["static"].phase_elapsed(PHASE_FLOW) / NSTEPS,
+                row["dynamic"].phase_elapsed(PHASE_FLOW) / NSTEPS,
+            )
+            for row in comparison
+        ]
+
+    rows = benchmark.pedantic(flow_times, rounds=1, iterations=1)
+    # Wherever the partitions diverge, the dynamic flow time is never
+    # meaningfully better than static (paper: it is strictly worse).
+    for nodes, t_static, t_dynamic in rows[1:]:
+        assert t_dynamic >= 0.95 * t_static

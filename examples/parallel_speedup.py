@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Parallel performance study on the simulated IBM SP2 and IBM SP.
+
+Reproduces the structure of the paper's Table 1 / Figure 5 at a chosen
+scale: the oscillating-airfoil case is run on 6..24 simulated nodes of
+both machines; for each partition the real distributed DCF3D protocol
+executes and the table reports Mflops/node, parallel speedup (overall
+and per module) and the percentage of time in the connectivity
+solution.
+
+Run:  python examples/parallel_speedup.py [scale]
+      (scale defaults to 0.25; 1.0 = the paper's 64K-point system)
+"""
+
+import sys
+
+from repro.cases import airfoil_case
+from repro.core import OverflowD1, speedup_table
+from repro.machine import sp, sp2
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    node_counts = [6, 9, 12, 18, 24]
+    for machine_fn in (sp2, sp):
+        runs = []
+        cfg0 = None
+        for nodes in node_counts:
+            cfg = airfoil_case(
+                machine=machine_fn(nodes=nodes), scale=scale, nsteps=5
+            )
+            cfg0 = cfg0 or cfg
+            runs.append(OverflowD1(cfg).run())
+        table = speedup_table(runs, cfg0.total_gridpoints)
+        print(table.format())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Render the reproduced speedup figures as ASCII charts.
+
+Reads the CSV series the benchmarks write under ``benchmarks/results``
+(run ``pytest benchmarks/ --benchmark-only`` first) and prints
+Fig. 5/7/10-style charts: OVERFLOW vs DCF3D vs combined vs ideal.
+
+Run:  python examples/plot_figures.py [results_dir]
+"""
+
+import csv
+import sys
+from pathlib import Path
+
+from repro.core.ascii_plot import speedup_chart
+
+FIGS = {
+    "figure5_sp2.csv": "Fig. 5 (reproduced) - oscillating airfoil, IBM SP2",
+    "figure5_sp.csv": "Fig. 5 (reproduced) - oscillating airfoil, IBM SP",
+    "figure7_sp2.csv": "Fig. 7 (reproduced) - delta wing, IBM SP2",
+    "figure10_sp2.csv": "Fig. 10 (reproduced) - store separation, IBM SP2",
+}
+
+
+def load_rows(path: Path) -> list[dict]:
+    with path.open() as fh:
+        rows = []
+        for rec in csv.DictReader(fh):
+            rows.append(
+                {
+                    "nodes": int(rec["nodes"]),
+                    "speedup": float(rec["speedup"]),
+                    "speedup_overflow": float(rec["speedup_overflow"]),
+                    "speedup_dcf3d": float(rec["speedup_dcf3d"]),
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    results = Path(
+        sys.argv[1] if len(sys.argv) > 1
+        else Path(__file__).parent.parent / "benchmarks" / "results"
+    )
+    found = False
+    for name, title in FIGS.items():
+        path = results / name
+        if not path.exists():
+            continue
+        found = True
+        print(speedup_chart(load_rows(path), title=title))
+        print()
+    if not found:
+        print(
+            f"no figure CSVs under {results} - run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+
+
+if __name__ == "__main__":
+    main()

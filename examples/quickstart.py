@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: a real coupled overset flow solve in ~30 seconds.
+
+Builds the paper's three-grid oscillating-airfoil system at a small
+scale, runs genuine 2-D Navier-Stokes on every component grid with hole
+cutting, donor search and fringe interpolation between them, pitches
+the airfoil sinusoidally (alpha = 5 deg * sin(pi/2 t), the paper's
+motion), and prints per-step diagnostics plus the integrated surface
+forces.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.cases.airfoil import AIRFOIL_SEARCH_LISTS, airfoil_grids
+from repro.core import Overset2D
+from repro.motion import PitchOscillation
+from repro.solver import FlowConfig
+
+
+def main() -> None:
+    # The paper's case 4.1 at reduced resolution: near-field O-grid,
+    # intermediate annulus, Cartesian background.
+    grids = airfoil_grids(scale=0.05)
+    print("Component grids:")
+    for g in grids:
+        print(f"  {g!r}")
+
+    flow = FlowConfig(mach=0.5, alpha=0.0, reynolds=1e4, cfl=2.0)
+    driver = Overset2D(
+        grids,
+        flow,
+        AIRFOIL_SEARCH_LISTS,
+        motions={0: PitchOscillation(center=(0.25, 0.0))},
+        fringe_layers=2,
+    )
+    rep = driver.last_report
+    print(
+        f"\nInitial connectivity: {rep.igbps} IGBPs, "
+        f"{rep.donors_found} donors found, {rep.orphans} orphans "
+        f"(IGBP/gridpoint ratio {driver.igbp_ratio():.3f})"
+    )
+
+    nsteps = 30
+    print(f"\nRunning {nsteps} coupled timesteps...")
+    print(f"{'step':>5} {'t':>8} {'dt':>9} {'max resid':>10} "
+          f"{'search steps':>13} {'alpha(deg)':>11}")
+    for k in range(nsteps):
+        out = driver.step()
+        alpha = np.rad2deg(driver.motions[0].alpha(out["t"]))
+        conn = out["connectivity"]
+        print(
+            f"{k:5d} {out['t']:8.4f} {out['dt']:9.2e} "
+            f"{max(out['residuals']):10.3e} {conn.search_steps:13d} "
+            f"{alpha:11.3f}"
+        )
+
+    f = driver.surface_forces(0)
+    print(
+        f"\nAirfoil surface forces: fx = {f['fx']:+.5f}, "
+        f"fy = {f['fy']:+.5f}, pitching moment = {f['moment']:+.6f}"
+    )
+    if driver.restart is not None:
+        print(f"nth-level-restart cache hit rate: "
+              f"{driver.restart.hit_rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Real 3-D overset physics: a store body dropping through a background.
+
+The 3-D counterpart of the quickstart: a body-of-revolution store grid
+overset on a Cartesian background, genuine 3-D Euler on both grids with
+GCL-exact metrics, hole cutting, donor search with nth-level restart,
+and fringe interpolation — while the store descends through the
+background (the motion pattern of the paper's separation case).
+
+Run:  python examples/store_drop_3d.py
+"""
+
+import numpy as np
+
+from repro.core import Overset3D
+from repro.grids.generators import (
+    body_of_revolution_grid,
+    cartesian_background,
+)
+from repro.motion import SteadyDescent
+from repro.solver import FlowConfig
+
+
+def main() -> None:
+    store = body_of_revolution_grid(
+        "store", ni=31, nj=21, nk=11, viscous=False,
+        length=1.0, body_radius=0.12, outer_radius=0.45,
+        nose_bluntness=0.35,  # blunt nose: relaxes the CFL timestep
+    )
+    bg = cartesian_background(
+        "bg", (-0.6, -1.4, -0.7), (1.6, 0.7, 0.7), (29, 25, 19)
+    )
+    print("Component grids:")
+    for g in (store, bg):
+        print(f"  {g!r}")
+
+    driver = Overset3D(
+        [store, bg],
+        FlowConfig(mach=0.6, cfl=1.5),
+        search_lists={0: [1], 1: [0]},
+        motions={0: SteadyDescent(velocity=(0.0, -0.08, 0.0))},
+        fringe_layers=1,
+    )
+    rep = driver.last_report
+    print(
+        f"\nInitial connectivity: {rep.igbps} IGBPs, "
+        f"{rep.donors_found} found, {rep.orphans} orphans; "
+        f"background hole points: {(driver.iblanks[1] == 0).sum()}"
+    )
+
+    print(f"\n{'step':>5} {'t':>9} {'store y':>9} {'max resid':>10} "
+          f"{'walk steps':>11} {'axial force':>12}")
+    for k in range(12):
+        out = driver.step()
+        y = driver.solvers[0].xyz[..., 1].mean()
+        f = driver.surface_forces(0)
+        print(
+            f"{k:5d} {out['t']:9.5f} {y:9.4f} "
+            f"{max(out['residuals']):10.3e} "
+            f"{out['connectivity'].search_steps:11d} {f['fx']:+12.5f}"
+        )
+    if driver.restart is not None:
+        print(f"\nnth-level-restart hit rate: {driver.restart.hit_rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

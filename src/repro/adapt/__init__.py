@@ -1,0 +1,35 @@
+"""Adaptive off-body Cartesian grid scheme (paper section 5).
+
+The paper's forward-looking scheme (Meakin [17, 18]): curvilinear
+grids resolve the near-body viscous region while the off-body domain is
+automatically partitioned into systems of uniform Cartesian grids
+("bricks") at nested refinement levels.  Initial refinement follows
+proximity to the near-body grids; subsequent adapt cycles respond to
+body motion and solution-error estimates, refining and coarsening.
+Because every brick is a seven-parameter uniform grid, donor lookup
+between bricks is closed-form — "the bulk of the connectivity solution
+can be performed at very low cost because no donor searches are
+required".
+
+* :mod:`refine` — brick generation, proximity refinement, nesting;
+* :mod:`error` — refinement criteria (proximity + solution error);
+* :mod:`manager` — the adapt cycle plus Algorithm-3 grouping onto
+  nodes.
+"""
+
+from repro.adapt.refine import Brick, initial_off_body_system, refine_bricks
+from repro.adapt.error import proximity_flags, gradient_flags
+from repro.adapt.manager import AdaptiveSystem, cartesian_connectivity
+from repro.adapt.parallel import AdaptiveDriver, AdaptiveRunResult
+
+__all__ = [
+    "AdaptiveDriver",
+    "AdaptiveRunResult",
+    "Brick",
+    "initial_off_body_system",
+    "refine_bricks",
+    "proximity_flags",
+    "gradient_flags",
+    "AdaptiveSystem",
+    "cartesian_connectivity",
+]

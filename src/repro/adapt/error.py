@@ -1,0 +1,67 @@
+"""Refinement criteria for the adaptive off-body scheme.
+
+Initially "the level of refinement is based on proximity to the
+near-body curvilinear grids"; during the run the domain is
+"repartitioned during adaption in response to body motion and estimates
+of solution error" (paper section 5).  Both criteria are provided:
+
+* :func:`proximity_flags` — flag bricks whose box intersects the
+  (inflated) bounding box of any near-body grid;
+* :func:`gradient_flags` — flag bricks whose sampled solution-gradient
+  magnitude exceeds a threshold (a Richardson-style error surrogate).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.adapt.refine import Brick, BrickSystem
+from repro.grids.bbox import AABB
+
+
+def proximity_flags(
+    system: BrickSystem,
+    bricks: list[Brick],
+    body_boxes: list[AABB],
+    margin: float = 0.0,
+) -> dict[Brick, bool]:
+    """Flag bricks intersecting any near-body bounding box."""
+    inflated = [b.inflated(margin) for b in body_boxes]
+    out: dict[Brick, bool] = {}
+    for brick in bricks:
+        box = system.box(brick)
+        out[brick] = any(box.intersects(b) for b in inflated)
+    return out
+
+
+def gradient_flags(
+    system: BrickSystem,
+    bricks: list[Brick],
+    field: Callable[[np.ndarray], np.ndarray],
+    threshold: float,
+    samples_per_edge: int = 3,
+) -> dict[Brick, bool]:
+    """Flag bricks where the sampled field varies strongly.
+
+    ``field`` maps points (n, ndim) to scalars (n,); the brick error
+    indicator is the sample range divided by the brick edge — a cheap
+    gradient magnitude surrogate that needs no stored solution.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    out: dict[Brick, bool] = {}
+    for brick in bricks:
+        box = system.box(brick)
+        axes = [
+            np.linspace(box.lo[d], box.hi[d], samples_per_edge)
+            for d in range(box.ndim)
+        ]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        pts = np.stack([m.ravel() for m in mesh], axis=-1)
+        vals = np.asarray(field(pts), dtype=float)
+        edge = float(box.extent.max())
+        indicator = (vals.max() - vals.min()) / max(edge, 1e-300)
+        out[brick] = bool(indicator > threshold)
+    return out

@@ -1,0 +1,187 @@
+"""The adapt cycle and its parallel decomposition.
+
+:class:`AdaptiveSystem` owns the off-body brick set: per adapt cycle it
+refines toward the (possibly moving) near-body grids and the solution
+error, coarsens where neither applies, and packs the resulting bricks
+into node groups with the paper's Algorithm 3
+(:func:`repro.partition.group_grids`) — even work per group, maximum
+intra-group connectivity.
+
+:func:`cartesian_connectivity` demonstrates the scheme's payoff: donor
+relations between overlapping bricks are computed in closed form
+(:meth:`repro.grids.CartesianGrid.locate`), so the count of stencil-walk
+donor searches avoided is exactly the count of brick-to-brick fringe
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.adapt.error import gradient_flags, proximity_flags
+from repro.adapt.refine import (
+    Brick,
+    BrickSystem,
+    coarsen_bricks,
+    initial_off_body_system,
+    refine_bricks,
+)
+from repro.grids.bbox import AABB
+from repro.partition.grouping import GroupingResult, group_grids
+
+
+@dataclass
+class AdaptStats:
+    """Outcome of one adapt cycle."""
+
+    nbricks: int
+    refined: int
+    coarsened: int
+    max_level: int
+    grouping: GroupingResult | None = None
+
+
+class AdaptiveSystem:
+    """Off-body Cartesian system with refinement and grouping."""
+
+    def __init__(
+        self,
+        domain: AABB,
+        brick_extent: float,
+        max_level: int = 3,
+        points_per_brick: int = 9,
+    ):
+        if max_level < 0:
+            raise ValueError("max_level must be >= 0")
+        self.system, self.bricks = initial_off_body_system(
+            domain, brick_extent, points_per_brick
+        )
+        self.max_level = max_level
+        self.history: list[AdaptStats] = []
+
+    # ------------------------------------------------------------------
+
+    def adapt(
+        self,
+        body_boxes: list[AABB],
+        error_field: Callable[[np.ndarray], np.ndarray] | None = None,
+        error_threshold: float = 1.0,
+        margin: float = 0.0,
+        ngroups: int | None = None,
+    ) -> AdaptStats:
+        """One refine-then-coarsen cycle toward the current body
+        positions (and optionally the solution error), followed by
+        Algorithm-3 grouping when ``ngroups`` is given."""
+        before = set(self.bricks)
+
+        # Refine every level at most once per cycle, innermost first so
+        # newly created children can immediately refine again next cycle.
+        flags = self._flags(body_boxes, error_field, error_threshold, margin)
+        self.bricks = refine_bricks(self.bricks, flags, self.max_level)
+
+        # Coarsen sibling sets that no longer matter.
+        keep = self._flags(body_boxes, error_field, error_threshold, margin)
+        self.bricks = coarsen_bricks(self.bricks, keep)
+
+        after = set(self.bricks)
+        grouping = None
+        if ngroups is not None:
+            grouping = self.group(ngroups)
+        stats = AdaptStats(
+            nbricks=len(self.bricks),
+            refined=len(after - before),
+            coarsened=len(before - after),
+            max_level=max((b.level for b in self.bricks), default=0),
+            grouping=grouping,
+        )
+        self.history.append(stats)
+        return stats
+
+    def _flags(self, body_boxes, error_field, error_threshold, margin):
+        flags = proximity_flags(self.system, self.bricks, body_boxes, margin)
+        if error_field is not None:
+            grad = gradient_flags(
+                self.system, self.bricks, error_field, error_threshold
+            )
+            flags = {b: flags[b] or grad[b] for b in self.bricks}
+        return flags
+
+    # ------------------------------------------------------------------
+
+    def brick_points(self) -> list[int]:
+        n = self.system.points_per_brick
+        ndim = self.bricks[0].ndim if self.bricks else 0
+        return [n**ndim] * len(self.bricks)
+
+    def connectivity_edges(self) -> set[tuple[int, int]]:
+        """Brick adjacency: boxes that touch or overlap are connected."""
+        boxes = [self.system.box(b) for b in self.bricks]
+        edges: set[tuple[int, int]] = set()
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                if boxes[i].intersects(boxes[j]):
+                    edges.add((i, j))
+        return edges
+
+    def group(self, ngroups: int) -> GroupingResult:
+        """Pack bricks into node groups with Algorithm 3."""
+        return group_grids(
+            self.brick_points(), self.connectivity_edges(), ngroups
+        )
+
+    def total_points(self) -> int:
+        return sum(self.brick_points())
+
+    def parameters_stored(self) -> int:
+        """Scalars describing the whole off-body system — seven per
+        brick (2*ndim + 1), the paper's storage argument."""
+        if not self.bricks:
+            return 0
+        return len(self.bricks) * (2 * self.bricks[0].ndim + 1)
+
+
+def cartesian_connectivity(
+    system: BrickSystem, bricks: list[Brick]
+) -> dict:
+    """Closed-form donor lookup between overlapping/abutting bricks.
+
+    For every brick, its boundary-face points are located in every finer
+    or same-level neighbouring brick with the O(1) Cartesian ``locate``.
+    Returns counts: donors resolved and stencil-walk searches avoided
+    (equal — that is the point of the scheme).
+    """
+    grids = [system.grid(b) for b in bricks]
+    boxes = [system.box(b) for b in bricks]
+    donors = 0
+    fringe_total = 0
+    for i, gi in enumerate(grids):
+        fringe = _face_points(gi)
+        fringe_total += fringe.shape[0]
+        resolved = np.zeros(fringe.shape[0], dtype=bool)
+        for j, gj in enumerate(grids):
+            if i == j or not boxes[i].intersects(boxes[j]):
+                continue
+            _, _, inside = gj.locate(fringe)
+            resolved |= inside
+        donors += int(resolved.sum())
+    return {
+        "fringe_points": fringe_total,
+        "donors_resolved": donors,
+        "searches_avoided": donors,
+    }
+
+
+def _face_points(grid) -> np.ndarray:
+    xyz = grid.coordinates()
+    ndim = grid.ndim
+    faces = []
+    for axis in range(ndim):
+        sl: list = [slice(None)] * (ndim + 1)
+        sl[axis] = 0
+        faces.append(xyz[tuple(sl)].reshape(-1, ndim))
+        sl[axis] = -1
+        faces.append(xyz[tuple(sl)].reshape(-1, ndim))
+    return np.concatenate(faces, axis=0)

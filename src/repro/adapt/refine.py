@@ -1,0 +1,137 @@
+"""Off-body Cartesian brick generation and refinement.
+
+The off-body domain is tiled by equal-size "bricks" (uniform Cartesian
+grids).  Refining a brick replaces it with 2**ndim children at half the
+spacing; coarsening merges a full sibling set back into the parent.
+Brick identity is (level, integer lattice coordinates), so the system
+is exactly an octree (quadtree in 2-D) whose leaves carry seven-
+parameter grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grids.bbox import AABB
+from repro.grids.cartesian import CartesianGrid
+
+
+@dataclass(frozen=True)
+class Brick:
+    """One off-body brick: a node of the refinement tree."""
+
+    level: int
+    ijk: tuple[int, ...]  # lattice coordinates at this level
+
+    @property
+    def ndim(self) -> int:
+        return len(self.ijk)
+
+    def children(self) -> list["Brick"]:
+        out = []
+        for corner in range(2**self.ndim):
+            child = tuple(
+                2 * self.ijk[d] + ((corner >> d) & 1)
+                for d in range(self.ndim)
+            )
+            out.append(Brick(self.level + 1, child))
+        return out
+
+    def parent(self) -> "Brick":
+        if self.level == 0:
+            raise ValueError("level-0 brick has no parent")
+        return Brick(self.level - 1, tuple(c // 2 for c in self.ijk))
+
+    def siblings(self) -> list["Brick"]:
+        return self.parent().children()
+
+
+@dataclass
+class BrickSystem:
+    """Geometry shared by all bricks: domain origin and level-0 size."""
+
+    origin: np.ndarray
+    brick_extent: float           # physical edge length of a level-0 brick
+    points_per_brick: int = 9     # points per edge of every brick
+
+    def spacing(self, level: int) -> float:
+        return self.brick_extent / (2**level) / (self.points_per_brick - 1)
+
+    def box(self, brick: Brick) -> AABB:
+        size = self.brick_extent / (2**brick.level)
+        lo = self.origin + size * np.array(brick.ijk, dtype=float)
+        return AABB(lo, lo + size)
+
+    def grid(self, brick: Brick) -> CartesianGrid:
+        box = self.box(brick)
+        dims = (self.points_per_brick,) * len(brick.ijk)
+        return CartesianGrid(
+            f"L{brick.level}-{'_'.join(map(str, brick.ijk))}",
+            box.lo,
+            self.spacing(brick.level),
+            dims,
+            level=brick.level,
+        )
+
+
+def initial_off_body_system(
+    domain: AABB,
+    brick_extent: float,
+    points_per_brick: int = 9,
+) -> tuple[BrickSystem, list[Brick]]:
+    """Tile ``domain`` with level-0 bricks (the "default off-body
+    Cartesian set", Fig. 12a)."""
+    if brick_extent <= 0:
+        raise ValueError("brick_extent must be positive")
+    counts = np.maximum(
+        1, np.ceil(domain.extent / brick_extent - 1e-12).astype(int)
+    )
+    system = BrickSystem(domain.lo.copy(), brick_extent, points_per_brick)
+    bricks = [
+        Brick(0, tuple(int(v) for v in idx))
+        for idx in np.ndindex(*counts)
+    ]
+    return system, bricks
+
+
+def refine_bricks(
+    bricks: list[Brick],
+    flags: dict[Brick, bool],
+    max_level: int,
+) -> list[Brick]:
+    """Replace flagged bricks (below ``max_level``) with their children;
+    returns the new leaf set sorted for determinism."""
+    out: list[Brick] = []
+    for b in bricks:
+        if flags.get(b, False) and b.level < max_level:
+            out.extend(b.children())
+        else:
+            out.append(b)
+    return sorted(out, key=lambda b: (b.level, b.ijk))
+
+
+def coarsen_bricks(
+    bricks: list[Brick],
+    keep_fine: dict[Brick, bool],
+) -> list[Brick]:
+    """Merge complete sibling sets whose members are all unflagged."""
+    leaf = set(bricks)
+    out: list[Brick] = []
+    merged: set[Brick] = set()
+    for b in bricks:
+        if b in merged:
+            continue
+        if b.level == 0 or keep_fine.get(b, False):
+            out.append(b)
+            continue
+        sibs = b.siblings()
+        if all(s in leaf for s in sibs) and not any(
+            keep_fine.get(s, False) for s in sibs
+        ):
+            out.append(b.parent())
+            merged.update(sibs)
+        else:
+            out.append(b)
+    return sorted(set(out), key=lambda b: (b.level, b.ijk))

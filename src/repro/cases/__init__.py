@@ -1,0 +1,35 @@
+"""The paper's test problems as ready-to-run case builders.
+
+Each builder returns a :class:`repro.core.CaseConfig` whose grid
+system matches the paper's structure (grid count, relative sizes,
+IGBP/gridpoint ratio) at a chosen ``scale`` — ``scale=1.0`` reproduces
+the paper's gridpoint counts, smaller values shrink every linear
+dimension for fast tests and benchmarks (ratios are preserved by
+scaling the fringe depth; see each module's notes).
+
+* :mod:`airfoil` — 2-D oscillating NACA 0012 (section 4.1): 3 grids,
+  64K points, IGBP ratio 44e-3, sinusoidal pitch;
+* :mod:`deltawing` — descending delta wing (section 4.2): 4 grids,
+  ~1M points, 33e-3, slow descent at M 0.064;
+* :mod:`store` — finned-store separation (section 4.3): 16 grids
+  (10 store + 3 wing/pylon + 3 background), 0.81M points, 66e-3,
+  prescribed separation trajectory;
+* :mod:`x38` — X-38-like blunt body for the section-5 adaptive
+  Cartesian scheme.
+"""
+
+from repro.cases.airfoil import airfoil_case, airfoil_grids
+from repro.cases.deltawing import deltawing_case, deltawing_grids
+from repro.cases.store import store_case, store_grids
+from repro.cases.x38 import x38_adaptive_system, x38_near_body_grids
+
+__all__ = [
+    "airfoil_case",
+    "airfoil_grids",
+    "deltawing_case",
+    "deltawing_grids",
+    "store_case",
+    "store_grids",
+    "x38_near_body_grids",
+    "x38_adaptive_system",
+]

@@ -1,0 +1,173 @@
+"""Command-line interface: run cases and regenerate tables.
+
+Usage (installed as ``python -m repro``):
+
+    python -m repro list
+    python -m repro run airfoil --machine sp2 --nodes 12 --scale 0.5 --steps 5
+    python -m repro sweep store --machine sp2 --nodes 16,28,52 --scale 0.1
+    python -m repro physics --scale 0.05 --steps 20
+
+``run`` executes one OVERFLOW-D1 simulation and prints the paper's
+per-run statistics; ``sweep`` produces a Table-1-style speedup table
+over several node counts; ``physics`` runs the real coupled 2-D solver
+on the oscillating-airfoil system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from repro.cases import airfoil_case, deltawing_case, store_case
+from repro.core import OverflowD1, speedup_table
+from repro.machine import MACHINE_PRESETS
+
+CASES = {
+    "airfoil": airfoil_case,
+    "deltawing": deltawing_case,
+    "store": store_case,
+}
+
+
+def _machine(name: str, nodes: int):
+    try:
+        preset = MACHINE_PRESETS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown machine {name!r}; choose from {sorted(MACHINE_PRESETS)}"
+        )
+    if name == "ymp":
+        return preset()
+    return preset(nodes=nodes)
+
+
+def _case(name: str, machine, scale: float, steps: int, f0: float):
+    try:
+        builder = CASES[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown case {name!r}; choose from {sorted(CASES)}"
+        )
+    return builder(machine=machine, scale=scale, nsteps=steps, f0=f0)
+
+
+def cmd_list(_args) -> int:
+    print("cases:    " + ", ".join(sorted(CASES)))
+    print("machines: " + ", ".join(sorted(MACHINE_PRESETS)))
+    return 0
+
+
+def cmd_run(args) -> int:
+    machine = _machine(args.machine, args.nodes)
+    cfg = _case(args.case, machine, args.scale, args.steps, args.f0)
+    print(
+        f"{cfg.name}: {cfg.total_gridpoints} points, {len(cfg.grids)} "
+        f"grids, {machine.name} x {machine.nodes} nodes, "
+        f"f0={'inf' if math.isinf(args.f0) else args.f0}"
+    )
+    r = OverflowD1(cfg).run()
+    print(f"time/step        {r.time_per_step:.4f} simulated s")
+    print(f"Mflops/node      {r.mflops_per_node:.1f}")
+    print(f"%time in DCF3D   {r.pct_dcf3d:.1f}%")
+    for step, procs in r.partition_history:
+        print(f"partition from step {step}: {procs}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    node_counts = sorted(int(v) for v in args.nodes.split(","))
+    runs = []
+    total = None
+    for nodes in node_counts:
+        machine = _machine(args.machine, nodes)
+        cfg = _case(args.case, machine, args.scale, args.steps, args.f0)
+        total = cfg.total_gridpoints
+        print(f"running {nodes} nodes ...", file=sys.stderr)
+        runs.append(OverflowD1(cfg).run())
+    table = speedup_table(runs, total)
+    print(table.format())
+    if args.csv:
+        print(table.to_csv())
+    return 0
+
+
+def cmd_physics(args) -> int:
+    from repro.cases.airfoil import AIRFOIL_SEARCH_LISTS, airfoil_grids
+    from repro.core import Overset2D
+    from repro.motion import PitchOscillation
+    from repro.solver import FlowConfig
+
+    grids = airfoil_grids(scale=args.scale)
+    driver = Overset2D(
+        grids,
+        FlowConfig(mach=args.mach, reynolds=args.reynolds, cfl=2.0),
+        AIRFOIL_SEARCH_LISTS,
+        motions={0: PitchOscillation()},
+        fringe_layers=2,
+    )
+    print(
+        f"{driver.total_gridpoints()} points, "
+        f"{driver.last_report.igbps} IGBPs"
+    )
+    for k in range(args.steps):
+        out = driver.step()
+        if k % max(1, args.steps // 10) == 0:
+            print(
+                f"step {k:4d}: t={out['t']:.4f} "
+                f"max-resid={max(out['residuals']):.3e}"
+            )
+    f = driver.surface_forces(0)
+    print(f"forces: fx={f['fx']:+.5f} fy={f['fy']:+.5f} "
+          f"moment={f['moment']:+.6f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel dynamic overset grid methods (SC 1997) "
+        "reproduction",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list cases and machines").set_defaults(
+        fn=cmd_list
+    )
+
+    def common(sp):
+        sp.add_argument("case", help="airfoil | deltawing | store")
+        sp.add_argument("--machine", default="sp2")
+        sp.add_argument("--scale", type=float, default=0.1)
+        sp.add_argument("--steps", type=int, default=5)
+        sp.add_argument("--f0", type=float, default=math.inf)
+
+    run = sub.add_parser("run", help="one OVERFLOW-D1 simulation")
+    common(run)
+    run.add_argument("--nodes", type=int, default=12)
+    run.set_defaults(fn=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="speedup table over node counts")
+    common(sweep)
+    sweep.add_argument("--nodes", default="6,12,24",
+                       help="comma-separated node counts")
+    sweep.add_argument("--csv", action="store_true",
+                       help="also print the CSV series")
+    sweep.set_defaults(fn=cmd_sweep)
+
+    phys = sub.add_parser("physics", help="real coupled 2-D solve")
+    phys.add_argument("--scale", type=float, default=0.05)
+    phys.add_argument("--steps", type=int, default=20)
+    phys.add_argument("--mach", type=float, default=0.5)
+    phys.add_argument("--reynolds", type=float, default=1e4)
+    phys.set_defaults(fn=cmd_physics)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""DCF3D-like overset domain connectivity.
+
+Re-establishing domain connectivity after grid movement is step (3) of
+the paper's per-timestep loop and the subject of its load-balancing
+study.  The pieces:
+
+* :mod:`holecut` — cut "holes" in grids that intersect solid surfaces
+  of other grids (paper section 2.0);
+* :mod:`igbp` — identify the inter-grid boundary points (IGBPs): outer
+  overset-fringe points plus the fringe ringing every hole;
+* :mod:`donorsearch` — the stencil-walk + Newton donor search with
+  vectorised batch evaluation;
+* :mod:`interpolation` — bilinear/trilinear weights and their
+  application;
+* :mod:`restart` — the "nth-level restart" warm start (Barszcz):
+  donors from the previous timestep seed the next search;
+* :mod:`dcf` — the distributed asynchronous donor-search protocol of
+  paper Fig. 3, run on the simulated machine.
+"""
+
+from repro.connectivity.holecut import cut_holes, hole_fringe_mask
+from repro.connectivity.igbp import IgbpSet, find_igbps
+from repro.connectivity.donorsearch import DonorSearchResult, donor_search
+from repro.connectivity.interpolation import (
+    interpolation_weights,
+    interpolate,
+)
+from repro.connectivity.restart import RestartCache
+from repro.connectivity.dcf import (
+    ConnectivityStats,
+    DcfConfig,
+    dcf_rank_program,
+)
+
+__all__ = [
+    "cut_holes",
+    "hole_fringe_mask",
+    "IgbpSet",
+    "find_igbps",
+    "DonorSearchResult",
+    "donor_search",
+    "interpolation_weights",
+    "interpolate",
+    "RestartCache",
+    "ConnectivityStats",
+    "DcfConfig",
+    "dcf_rank_program",
+]

@@ -1,0 +1,451 @@
+"""The distributed asynchronous donor-search protocol (paper Fig. 3).
+
+Per connectivity solve each rank:
+
+1. takes part in a global exchange of subdomain bounding boxes ("the
+   bounding box information is broadcast globally");
+2. routes each of its inter-grid boundary points to a processor of the
+   first grid on that point's search list whose bounding box contains
+   it, as one batched SEARCH message per destination;
+3. enters an asynchronous service loop: incoming SEARCH requests are
+   served immediately (the windowed stencil-walk donor search on the
+   local subdomain), walks that exit the subdomain are FORWARDED to the
+   neighbouring processor owning the exit cell, and results return to
+   the *original* requester as REPLY messages — "processors can be
+   performing searches simultaneously";
+4. replies that report failure push the point to the next grid in its
+   hierarchical search list;
+5. termination: a rank that has resolved all its own points sends DONE
+   to rank 0 but keeps servicing; when rank 0 holds DONE from everyone
+   there can be no connectivity message still in flight (every request
+   has been answered), so it sends FINISH to all and the phase ends.
+
+The per-rank count of points received in SEARCH messages is I(p), the
+quantity Algorithm 2 (dynamic load balancing) consumes; walk steps are
+charged to the simulated clock through the work model, so connectivity
+load imbalance emerges from real geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.connectivity.donorsearch import donor_search
+from repro.connectivity.restart import RestartCache
+from repro.grids.bbox import AABB
+from repro.machine.event import ANY_SOURCE
+from repro.solver.workmodel import DEFAULT_WORK_MODEL, WorkModel
+
+TAG_SEARCH = 101
+TAG_REPLY = 102
+TAG_DONE = 103
+TAG_FINISH = 104
+
+
+@dataclass
+class DcfConfig:
+    """Connectivity-phase settings."""
+
+    search_lists: dict[int, list[int]]  # receiver grid -> donor grids, in order
+    max_forward_hops: int = 20
+    use_restart: bool = True
+    bbox_margin: float = 1e-9
+
+
+@dataclass
+class ConnectivityStats:
+    """Per-rank accounting of one connectivity solve."""
+
+    igbps_received: int = 0   # I(p): points served for other processors
+    search_steps: int = 0     # stencil-walk iterations performed locally
+    requests_sent: int = 0
+    forwards: int = 0
+    donors_found: int = 0
+    orphans: int = 0          # points that exhausted their search list
+
+
+@dataclass
+class DcfWorld:
+    """Read-only shared description of the overset system for one solve.
+
+    In a real distributed run each rank would hold only its slice; the
+    simulation shares the arrays but every rank *uses* only its own
+    window (enforced by the windowed donor search).
+    """
+
+    grid_xyz: list[np.ndarray]          # coordinates per grid (current step)
+    grid_of_rank: list[int]
+    rank_boxes: list                    # index-space Box per rank
+    ranks_of_grid: dict[int, list[int]]
+    config: DcfConfig
+    work: WorkModel = field(default_factory=lambda: DEFAULT_WORK_MODEL)
+
+    def cell_owner(self, grid: int, cell: np.ndarray) -> int | None:
+        """Rank of ``grid`` owning the cell (by its low-corner node)."""
+        for rank in self.ranks_of_grid[grid]:
+            if self.rank_boxes[rank].contains_index(cell):
+                return rank
+        return None
+
+    def cell_window(self, rank: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cell-index window a rank may search (its box, +1 halo node on
+        the high side so seam cells are computable)."""
+        box = self.rank_boxes[rank]
+        dims = self.grid_xyz[self.grid_of_rank[rank]].shape[:-1]
+        lo = np.array(box.lo, dtype=np.int64)
+        hi = np.minimum(
+            np.array(box.hi, dtype=np.int64) - 1, np.array(dims) - 2
+        )
+        return lo, hi
+
+
+def _physical_bbox(world: DcfWorld, rank: int) -> tuple:
+    """Bounding box (lo, hi arrays) of a rank's subdomain points,
+    including the one-node halo on the high side so the cells spanning
+    subdomain seams (searchable here per :meth:`DcfWorld.cell_window`)
+    are covered by exactly this rank's box."""
+    grid = world.grid_of_rank[rank]
+    xyz = world.grid_xyz[grid]
+    box = world.rank_boxes[rank]
+    dims = xyz.shape[:-1]
+    sl = tuple(
+        slice(lo, min(hi + 1, d))
+        for lo, hi, d in zip(box.lo, box.hi, dims)
+    )
+    pts = xyz[sl].reshape(-1, xyz.shape[-1])
+    return pts.min(axis=0), pts.max(axis=0)
+
+
+def dcf_rank_program(
+    comm,
+    world: DcfWorld,
+    igbp_flat: np.ndarray,
+    igbp_points: np.ndarray,
+    restart: RestartCache | None = None,
+):
+    """Run one distributed connectivity solve on this rank.
+
+    A generator to be ``yield from``-ed inside a SimMPI rank program.
+    ``igbp_flat``/``igbp_points`` are the IGBPs this rank owns (receiver
+    points lying in its subdomain).  Returns ``(assignment, stats)``
+    where assignment maps each owned IGBP row to its donor.
+    """
+    rank = comm.rank
+    cfg = world.config
+    my_grid = world.grid_of_rank[rank]
+    ndim = world.grid_xyz[0].shape[-1]
+    stats = ConnectivityStats()
+
+    # ------------------------------------------------------------ step 1
+    lo, hi = _physical_bbox(world, rank)
+    boxes_raw = yield from comm.allgather(
+        (lo.tolist(), hi.tolist()), nbytes=2 * ndim * 8
+    )
+    rank_bboxes = [
+        AABB(b[0], b[1]).inflated(cfg.bbox_margin) for b in boxes_raw
+    ]
+
+    n = int(len(igbp_flat))
+    result = {
+        "found": np.zeros(n, dtype=bool),
+        "donor_grid": np.full(n, -1, dtype=np.int64),
+        "donor_rank": np.full(n, -1, dtype=np.int64),
+        "cells": np.zeros((n, ndim), dtype=np.int64),
+        "fracs": np.zeros((n, ndim), dtype=float),
+    }
+    level = np.zeros(n, dtype=np.int64)  # position in the candidate order
+    resolved = np.zeros(n, dtype=bool)
+    outstanding = 0  # points awaiting a reply
+
+    search_list = list(cfg.search_lists.get(my_grid, []))
+
+    # Per-point donor-grid candidate order: the grid that donated last
+    # step first (the other half of the nth-level restart), then the
+    # user's hierarchical search list.
+    orders: list[list[int]] = []
+    for row in range(n):
+        cached = -1
+        if cfg.use_restart and restart is not None:
+            cached = restart.donor_grid_of(my_grid, igbp_flat[row])
+        if cached >= 0 and cached in search_list:
+            orders.append(
+                [cached] + [g for g in search_list if g != cached]
+            )
+        else:
+            orders.append(search_list)
+
+    def route_points(rows: np.ndarray):
+        """Pick (dst_rank, hint) per point at its current candidate;
+        returns batched messages {dst: [(row, hint)]} and rows that
+        exhausted their candidate list.
+
+        Vectorised: cached-donor lookups and containment tests run per
+        donor-grid batch rather than per point (this routine is on the
+        per-timestep critical path for every rank).
+        """
+        batches: dict[int, list] = {}
+        dead: list[int] = []
+        active = np.asarray(rows, dtype=np.int64)
+        while active.size:
+            donor = np.array(
+                [
+                    orders[r][level[r]] if level[r] < len(orders[r]) else -1
+                    for r in active
+                ],
+                dtype=np.int64,
+            )
+            dead.extend(int(r) for r in active[donor < 0])
+            keep = donor >= 0
+            active = active[keep]
+            donor = donor[keep]
+            if active.size == 0:
+                break
+            next_active: list[int] = []
+            for dg in np.unique(donor):
+                sel = active[donor == dg]
+                pts = igbp_points[sel]
+                dst = np.full(sel.size, -1, dtype=np.int64)
+                hint_cells = np.full((sel.size, ndim), -1, dtype=np.int64)
+                if cfg.use_restart and restart is not None:
+                    cells, known = restart.hints_with_mask(
+                        my_grid, int(dg), igbp_flat[sel], ndim
+                    )
+                    hint_cells = cells
+                    if known.any():
+                        for rk in world.ranks_of_grid[int(dg)]:
+                            box = world.rank_boxes[rk]
+                            lo = np.asarray(box.lo)
+                            hi = np.asarray(box.hi)
+                            inside = (
+                                known
+                                & (dst < 0)
+                                & np.all(
+                                    (cells >= lo) & (cells < hi), axis=1
+                                )
+                            )
+                            dst[inside] = rk
+                missing = dst < 0
+                if missing.any():
+                    for rk in world.ranks_of_grid[int(dg)]:
+                        need = dst < 0
+                        if not need.any():
+                            break
+                        inside = rank_bboxes[rk].contains(pts)
+                        dst[need & inside] = rk
+                placed = dst >= 0
+                for row, d_, hc in zip(
+                    sel[placed], dst[placed], hint_cells[placed]
+                ):
+                    batches.setdefault(int(d_), []).append(
+                        (int(row), hc if (hc >= 0).all() else None)
+                    )
+                unplaced = sel[~placed]
+                level[unplaced] += 1
+                next_active.extend(int(r) for r in unplaced)
+            active = np.array(next_active, dtype=np.int64)
+        return batches, dead
+
+    def send_batches(batches: dict):
+        nonlocal outstanding
+        for dst, items in sorted(batches.items()):
+            rows = np.array([it[0] for it in items], dtype=np.int64)
+            hints = np.array(
+                [
+                    it[1] if it[1] is not None else [-1] * ndim
+                    for it in items
+                ],
+                dtype=np.int64,
+            )
+            payload = {
+                "requester": rank,
+                "rows": rows,
+                "points": igbp_points[rows],
+                "hints": hints,
+                "hops": 0,
+            }
+            # Forming and tagging the IGBP list (step 1 of Fig. 3).
+            yield from comm.compute(
+                flops=rows.size * world.work.igbp_request_flops
+            )
+            yield from comm.send(
+                dst, TAG_SEARCH, payload,
+                nbytes=int(rows.size * world.work.igbp_request_bytes),
+            )
+            stats.requests_sent += int(rows.size)
+            outstanding += int(rows.size)
+
+    def mark_dead(rows):
+        for row in rows:
+            if not resolved[row]:
+                resolved[row] = True
+                stats.orphans += 1
+
+    # ------------------------------------------------------------ step 2
+    if n and search_list:
+        batches, dead = route_points(np.arange(n))
+        mark_dead(np.array(dead, dtype=np.int64))
+        yield from send_batches(batches)
+    else:
+        resolved[:] = True
+        stats.orphans += n
+
+    # ------------------------------------------------------------ step 3
+    done_sent = False
+    done_count = 0
+    finished = False
+    idle_wait = 2.0e-5  # exponential backoff while nothing arrives
+    while not finished:
+        progress = False
+
+        # Serve one incoming search request.
+        msg = yield ("tryrecv", ANY_SOURCE, TAG_SEARCH)
+        if msg is not None:
+            progress = True
+            yield from _serve_search(comm, world, rank, msg.payload, stats)
+
+        # Absorb one reply.
+        msg = yield ("tryrecv", ANY_SOURCE, TAG_REPLY)
+        if msg is not None:
+            progress = True
+            p = msg.payload
+            rows = p["rows"]
+            found = p["found"]
+            outstanding -= int(rows.size)
+            ok = rows[found]
+            result["found"][ok] = True
+            result["donor_grid"][ok] = p["donor_grid"]
+            result["donor_rank"][ok] = p["donor_rank"]
+            result["cells"][ok] = p["cells"][found]
+            result["fracs"][ok] = p["fracs"][found]
+            resolved[ok] = True
+            stats.donors_found += int(found.sum())
+            # Failed points: try the next grid in the hierarchy.
+            bad = rows[~found]
+            if bad.size:
+                level[bad] += 1
+                batches, dead = route_points(bad)
+                mark_dead(np.array(dead, dtype=np.int64))
+                yield from send_batches(batches)
+
+        # Own work complete? Tell rank 0 (once).
+        if not done_sent and resolved.all() and outstanding == 0:
+            done_sent = True
+            yield from comm.send(0, TAG_DONE, None, nbytes=8)
+
+        if rank == 0:
+            msg = yield ("tryrecv", ANY_SOURCE, TAG_DONE)
+            if msg is not None:
+                progress = True
+                done_count += 1
+                if done_count == comm.size:
+                    for dst in range(1, comm.size):
+                        yield from comm.send(dst, TAG_FINISH, None, nbytes=8)
+                    finished = True
+        else:
+            msg = yield ("tryrecv", ANY_SOURCE, TAG_FINISH)
+            if msg is not None:
+                finished = True
+
+        if progress:
+            idle_wait = 2.0e-5
+        elif not finished:
+            yield from comm.elapse(idle_wait)
+            idle_wait = min(idle_wait * 2.0, 1.0e-3)
+
+    if restart is not None:
+        for dg in set(search_list):
+            sel = result["donor_grid"] == dg
+            if sel.any():
+                restart.store(
+                    my_grid, dg,
+                    igbp_flat[sel], result["cells"][sel],
+                    result["found"][sel],
+                )
+    return result, stats
+
+
+def _serve_search(comm, world: DcfWorld, rank: int, payload: dict, stats):
+    """Serve one SEARCH message: windowed search + replies + forwards."""
+    cfg = world.config
+    my_grid = world.grid_of_rank[rank]
+    xyz = world.grid_xyz[my_grid]
+    ndim = xyz.shape[-1]
+    points = payload["points"]
+    rows = payload["rows"]
+    hints = payload["hints"]
+    requester = payload["requester"]
+    hops = payload["hops"]
+    stats.igbps_received += int(rows.size)
+
+    lo, hi = world.cell_window(rank)
+    # Negative hints mark cold points; the search seeds them itself.
+    res = donor_search(
+        xyz, points, guesses=hints, cell_lo=lo, cell_hi=hi
+    )
+    stats.search_steps += res.total_steps
+    # Walk arithmetic plus the fixed per-point service cost (stencil
+    # quality checks, coefficient computation, packing).
+    yield from comm.compute(
+        flops=world.work.search_flops(res.total_steps)
+        + rows.size * world.work.igbp_service_flops
+    )
+
+    # Forward escapes whose exit cell belongs to a neighbour.
+    forward_to: dict[int, list[int]] = {}
+    notfound = []
+    for k in range(rows.size):
+        if res.found[k]:
+            continue
+        dst = None
+        if res.escaped[k] and hops < cfg.max_forward_hops:
+            owner = world.cell_owner(my_grid, res.cells[k])
+            if owner is not None and owner != rank:
+                dst = owner
+        if dst is None:
+            notfound.append(k)
+        else:
+            forward_to.setdefault(dst, []).append(k)
+
+    for dst, ks in sorted(forward_to.items()):
+        ks = np.array(ks, dtype=np.int64)
+        fwd = {
+            "requester": requester,
+            "rows": rows[ks],
+            "points": points[ks],
+            "hints": res.cells[ks],
+            "hops": hops + 1,
+        }
+        stats.forwards += int(ks.size)
+        yield from comm.send(
+            dst, TAG_SEARCH, fwd,
+            nbytes=int(ks.size * world.work.igbp_request_bytes),
+        )
+
+    # Reply for everything answered here (found + definitively missing).
+    # The interpolated boundary values travel with the reply (donor pays
+    # the interpolation arithmetic): with connectivity redone every
+    # timestep, piggybacking the interpolation exchange on the search
+    # reply is the natural implementation and is charged here.
+    nfound = int(res.found.sum())
+    if nfound:
+        yield from comm.compute(
+            flops=nfound * world.work.interp_flops_per_igbp
+        )
+    answered = np.concatenate(
+        [np.nonzero(res.found)[0], np.array(notfound, dtype=np.int64)]
+    ).astype(np.int64)
+    if answered.size:
+        reply = {
+            "rows": rows[answered],
+            "found": res.found[answered],
+            "cells": res.cells[answered],
+            "fracs": res.fracs[answered],
+            "donor_grid": my_grid,
+            "donor_rank": rank,
+        }
+        yield from comm.send(
+            requester, TAG_REPLY, reply,
+            nbytes=int(answered.size * world.work.donor_reply_bytes),
+        )

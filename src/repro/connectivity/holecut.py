@@ -1,0 +1,115 @@
+"""Hole cutting: blank points of one grid that fall inside the solid
+bodies of other grids (paper section 2.0: "Holes are cut in grids which
+intersect solid surfaces").
+
+In 2-D the body is the closed wall curve of a component grid and the
+inside test is an exact vectorised ray-casting point-in-polygon test.
+In 3-D an exact test against an arbitrary curvilinear wall surface is
+replaced by the classic box-cut approximation: points inside the
+(slightly shrunk) bounding box of the wall surface are blanked.  The
+substitution is documented in DESIGN.md; it preserves what the paper's
+experiments need — a realistic population of hole-fringe IGBPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.bbox import AABB
+from repro.grids.structured import CurvilinearGrid
+
+
+def points_in_polygon(points: np.ndarray, polygon: np.ndarray) -> np.ndarray:
+    """Vectorised ray casting: which ``points`` (n, 2) lie inside the
+    closed ``polygon`` (m, 2)?  The polygon need not repeat its first
+    vertex."""
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    poly = np.asarray(polygon, dtype=float)
+    if np.allclose(poly[0], poly[-1]):
+        poly = poly[:-1]
+    x, y = pts[:, 0], pts[:, 1]
+    x0, y0 = poly[:, 0], poly[:, 1]
+    x1 = np.roll(x0, -1)
+    y1 = np.roll(y0, -1)
+    inside = np.zeros(pts.shape[0], dtype=bool)
+    for k in range(poly.shape[0]):
+        cond = (y0[k] > y) != (y1[k] > y)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            xcross = (x1[k] - x0[k]) * (y - y0[k]) / (y1[k] - y0[k]) + x0[k]
+        inside ^= cond & (x < xcross)
+    return inside
+
+
+def body_polygon(grid: CurvilinearGrid, face: str = "jmin") -> np.ndarray:
+    """The closed solid-surface curve of a 2-D body-fitted grid."""
+    if grid.ndim != 2:
+        raise ValueError("body_polygon is 2-D only")
+    return grid.face_points(face)
+
+
+def cut_holes(
+    grids: list[CurvilinearGrid],
+    inflate: float = 0.0,
+) -> list[np.ndarray]:
+    """Compute iblank masks (1 = active, 0 = hole) for every grid.
+
+    Each grid with a wall face cuts holes in every *other* grid:
+    2-D: exact polygon containment of the wall curve (optionally
+    inflated outward is not supported — inflate applies to 3-D boxes);
+    3-D: containment in the wall-surface bounding box shrunk/inflated
+    by ``inflate`` (negative shrinks).
+    """
+    iblanks = [np.ones(g.dims, dtype=np.int8) for g in grids]
+    grid_boxes = [g.bounding_box() for g in grids]
+    for bi, body in enumerate(grids):
+        walls = body.wall_faces()
+        if not walls:
+            continue
+        body_box = grid_boxes[bi]
+        for gi, grid in enumerate(grids):
+            if gi == bi:
+                continue
+            # Cheap cull: a grid that nowhere overlaps the body grid
+            # cannot contain any of its wall surface.
+            if not grid_boxes[gi].intersects(body_box):
+                continue
+            pts = grid.points_flat()
+            blank = np.zeros(pts.shape[0], dtype=bool)
+            for wall in walls:
+                if grid.ndim == 2 and body.ndim == 2:
+                    poly = body.face_points(wall.face)
+                    surf_box = AABB.of_points(poly)
+                    candidates = surf_box.contains(pts)
+                    if candidates.any():
+                        blank[candidates] |= points_in_polygon(
+                            pts[candidates], poly
+                        )
+                else:
+                    surf = body.face_points(wall.face).reshape(-1, body.ndim)
+                    box = AABB.of_points(surf)
+                    margin = inflate - 0.02 * float(box.extent.max())
+                    try:
+                        box = box.inflated(margin)
+                    except ValueError:
+                        continue  # degenerate surface: nothing to cut
+                    blank |= box.contains(pts)
+            if blank.any():
+                mask = iblanks[gi].reshape(-1)
+                mask[blank] = 0
+    return iblanks
+
+
+def hole_fringe_mask(iblank: np.ndarray) -> np.ndarray:
+    """Active points adjacent (face-neighbour) to a hole point: these
+    become IGBPs that need donors."""
+    hole = iblank == 0
+    fringe = np.zeros_like(hole)
+    for axis in range(iblank.ndim):
+        for shift in (-1, 1):
+            rolled = np.roll(hole, shift, axis=axis)
+            # np.roll wraps; kill the wrapped slice.
+            sl: list = [slice(None)] * iblank.ndim
+            sl[axis] = 0 if shift == 1 else -1
+            rolled[tuple(sl)] = False
+            fringe |= rolled
+    return fringe & (iblank == 1)

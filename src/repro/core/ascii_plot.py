@@ -1,0 +1,93 @@
+"""Minimal ASCII line charts for the speedup figures.
+
+The environment has no plotting stack; these charts render the
+Fig. 5/7/10/11 series directly in the terminal (and into
+``benchmarks/results``).  Good enough to see who scales and who
+plateaus — which is all the paper's figures convey.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def line_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Each series gets its own marker; axes are linear and shared.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("no data to plot")
+    markers = "ox+*#@%&"
+    xs = [p[0] for pts in series.values() for p in pts]
+    ys = [p[1] for pts in series.values() for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, ch: str) -> None:
+        cx = int(round((x - x0) / (x1 - x0) * (width - 1)))
+        cy = int(round((y - y0) / (y1 - y0) * (height - 1)))
+        grid[height - 1 - cy][cx] = ch
+
+    for k, (name, pts) in enumerate(series.items()):
+        mk = markers[k % len(markers)]
+        # Linear interpolation between points for a continuous trace.
+        spts = sorted(pts)
+        for (xa, ya), (xb, yb) in zip(spts, spts[1:]):
+            steps = max(
+                2,
+                int(abs(xb - xa) / (x1 - x0) * width * 2) + 1,
+            )
+            for s in range(steps + 1):
+                t = s / steps
+                put(xa + t * (xb - xa), ya + t * (yb - ya), ".")
+        for x, y in spts:
+            put(x, y, mk)
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    for r, row in enumerate(grid):
+        yval = y1 - r * (y1 - y0) / (height - 1)
+        lines.append(f"{yval:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    xaxis = f"{x0:<10.4g}{xlabel.center(width - 20)}{x1:>10.4g}"
+    lines.append(" " * 10 + xaxis)
+    legend = "   ".join(
+        f"{markers[k % len(markers)]} {name}"
+        for k, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    if ylabel:
+        lines.insert(1 if title else 0, f"[y: {ylabel}]")
+    return "\n".join(lines)
+
+
+def speedup_chart(table_rows: list[dict], title: str = "") -> str:
+    """Chart a :class:`repro.core.performance.PerformanceTable`'s rows
+    in the layout of the paper's speedup figures: OVERFLOW, DCF3D and
+    combined against the ideal line."""
+    nodes = [r["nodes"] for r in table_rows]
+    base = nodes[0]
+    series = {
+        "ideal": [(n, n / base) for n in nodes],
+        "overflow": [(n, r["speedup_overflow"]) for n, r in zip(nodes, table_rows)],
+        "combined": [(n, r["speedup"]) for n, r in zip(nodes, table_rows)],
+        "dcf3d": [(n, r["speedup_dcf3d"]) for n, r in zip(nodes, table_rows)],
+    }
+    return line_chart(
+        series, title=title, xlabel="processors", ylabel="parallel speedup"
+    )

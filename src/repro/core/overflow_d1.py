@@ -1,0 +1,407 @@
+"""The OVERFLOW-D1 performance driver.
+
+Runs the paper's per-timestep loop on the simulated machine:
+
+1. **flow solve** — each rank charges the work-model arithmetic for its
+   subdomain and exchanges halo faces with its neighbours on the same
+   component grid (one round per factored sweep direction);
+2. **grid motion** — ranks of moving grids charge the rigid-transform
+   update; the shared world state advances (new coordinates, holes cut,
+   IGBPs identified);
+3. **domain connectivity** — the real distributed DCF3D protocol
+   (:mod:`repro.connectivity.dcf`) runs, producing per-rank received-
+   IGBP counts I(p) and walk-step work.
+
+Barriers separate the three modules, as in the paper ("barriers are put
+in place to synchronize each of the solution modules").
+
+Dynamic load balancing (Algorithm 2) happens between *epochs*: the
+driver simulates ``lb_check_interval`` timesteps, inspects the
+accumulated I(p), and — when f0 is finite and some processor exceeds it
+— rebuilds the partition and continues.  Virtual time accumulates
+across epochs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.connectivity.dcf import DcfConfig, DcfWorld, dcf_rank_program
+from repro.connectivity.holecut import cut_holes
+from repro.connectivity.igbp import find_igbps
+from repro.connectivity.restart import RestartCache
+from repro.core.config import CaseConfig
+from repro.machine.scheduler import Simulator
+from repro.partition.assignment import Partition, build_partition
+from repro.partition.dynamic_lb import DynamicRebalancer
+
+TAG_HALO = 201
+
+PHASE_FLOW = "overflow"
+PHASE_MOTION = "motion"
+PHASE_DCF = "dcf3d"
+
+
+@dataclass
+class StepStats:
+    """Per-rank, per-step connectivity statistics."""
+
+    step: int
+    igbps_received: int
+    search_steps: int
+    donors_found: int
+    orphans: int
+
+
+@dataclass
+class EpochResult:
+    """One contiguous run at a fixed partition."""
+
+    partition: Partition
+    first_step: int
+    nsteps: int
+    elapsed: float
+    phase_totals: dict      # phase -> summed rank-seconds
+    phase_max: dict         # phase -> max single-rank seconds
+    total_flops: float
+    igbp_per_rank_step: np.ndarray  # (nsteps, nprocs) I(p)
+    search_steps_total: int
+    orphans_total: int
+
+
+@dataclass
+class RunResult:
+    """Merged outcome of a full OVERFLOW-D1 run."""
+
+    case: str
+    machine: str
+    nprocs: int
+    nsteps: int
+    epochs: list[EpochResult] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        return sum(e.elapsed for e in self.epochs)
+
+    @property
+    def time_per_step(self) -> float:
+        return self.elapsed / self.nsteps
+
+    def phase_total(self, phase: str) -> float:
+        return sum(e.phase_totals.get(phase, 0.0) for e in self.epochs)
+
+    @property
+    def pct_dcf3d(self) -> float:
+        """Percentage of total (rank-summed) time in the connectivity
+        solution — the paper's '% Time in DCF3D' column."""
+        total = sum(sum(e.phase_totals.values()) for e in self.epochs)
+        if total == 0:
+            return 0.0
+        return 100.0 * self.phase_total(PHASE_DCF) / total
+
+    @property
+    def total_flops(self) -> float:
+        return sum(e.total_flops for e in self.epochs)
+
+    @property
+    def mflops_per_node(self) -> float:
+        if self.elapsed == 0:
+            return 0.0
+        return self.total_flops / self.elapsed / self.nprocs / 1e6
+
+    def phase_elapsed(self, phase: str) -> float:
+        """Critical-path seconds of one phase (slowest rank per epoch)."""
+        return sum(e.phase_max.get(phase, 0.0) for e in self.epochs)
+
+    @property
+    def partition_history(self) -> list[tuple[int, tuple[int, ...]]]:
+        return [(e.first_step, e.partition.procs_per_grid) for e in self.epochs]
+
+
+class _WorldState:
+    """Shared (read-mostly) overset system state, advanced by rank 0."""
+
+    def __init__(self, config: CaseConfig):
+        self.config = config
+        self.reference = list(config.grids)
+        self.grids = list(config.grids)
+        self.iblanks = None
+        self.igbp_sets = None
+        self.advance(0.0)
+
+    def advance(self, t: float) -> None:
+        cfg = self.config
+        grids = []
+        for gi, ref in enumerate(self.reference):
+            motion = cfg.motions.get(gi)
+            if motion is None:
+                grids.append(self.grids[gi] if t > 0.0 else ref)
+            else:
+                grids.append(ref.with_coordinates(motion.at(t).apply(ref.xyz)))
+        self.grids = grids
+        self.iblanks = cut_holes(grids)
+        self.igbp_sets = [
+            find_igbps(g, gi, self.iblanks[gi], cfg.fringe_layers)
+            for gi, g in enumerate(grids)
+        ]
+
+    def own_igbps(self, partition: Partition, rank: int):
+        """(flat ids, coordinates) of the IGBPs this rank owns."""
+        gi = partition.grid_of_rank(rank)
+        box = partition.subdomain_of(rank).box
+        s = self.igbp_sets[gi]
+        if s.count == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros((0, self.grids[0].ndim)),
+            )
+        multi = np.stack(
+            np.unravel_index(s.flat_indices, self.grids[gi].dims), axis=-1
+        )
+        mine = np.all((multi >= box.lo) & (multi < box.hi), axis=1)
+        return s.flat_indices[mine], s.points[mine]
+
+
+def _halo_neighbors(partition: Partition) -> list[list[tuple[int, int]]]:
+    """Per rank: (neighbour rank, shared face points) on the same grid."""
+    out: list[list[tuple[int, int]]] = [[] for _ in range(partition.nprocs)]
+    for gi in range(partition.ngrids):
+        ranks = partition.ranks_of_grid(gi)
+        for a in ranks:
+            for b in ranks:
+                if b <= a:
+                    continue
+                shared = _shared_face(
+                    partition.subdomain_of(a).box, partition.subdomain_of(b).box
+                )
+                if shared > 0:
+                    out[a].append((b, shared))
+                    out[b].append((a, shared))
+    return out
+
+
+def _shared_face(a, b) -> int:
+    """Points on the face shared by two abutting boxes (0 if not)."""
+    touch_axis = None
+    overlap = 1
+    for d in range(a.ndim):
+        if a.hi[d] == b.lo[d] or b.hi[d] == a.lo[d]:
+            if touch_axis is not None:
+                return 0  # touch along two axes: edge, not face
+            touch_axis = d
+        else:
+            lo = max(a.lo[d], b.lo[d])
+            hi = min(a.hi[d], b.hi[d])
+            if hi <= lo:
+                return 0
+            overlap *= hi - lo
+    return overlap if touch_axis is not None else 0
+
+
+class OverflowD1:
+    """Run a :class:`CaseConfig` on N simulated nodes."""
+
+    def __init__(self, config: CaseConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        cfg = self.config
+        nprocs = cfg.machine.nodes
+        partition = build_partition([g.dims for g in cfg.grids], nprocs)
+        rebalancer = DynamicRebalancer(
+            f0=cfg.f0, check_interval=cfg.lb_check_interval
+        )
+        # One cache shared by all ranks: restart data lives with the
+        # IGBPs (keyed by receiver grid + point id), so it survives
+        # repartitioning just as block data redistributed by a real
+        # dynamic rebalance would.
+        shared_cache = RestartCache() if cfg.use_restart else None
+        caches = [shared_cache] * nprocs
+        world = _WorldState(cfg)
+        result = RunResult(
+            case=cfg.name,
+            machine=cfg.machine.name,
+            nprocs=nprocs,
+            nsteps=cfg.nsteps,
+        )
+
+        # Warm-up: the paper's statistics exclude preprocessing, and the
+        # first connectivity solve (everything searched from scratch) is
+        # exactly that; these steps warm the nth-level-restart caches
+        # and their metrics are discarded.
+        if cfg.warmup_steps:
+            self._run_epoch(world, partition, caches, 0, cfg.warmup_steps)
+
+        step = cfg.warmup_steps
+        last = cfg.warmup_steps + cfg.nsteps
+        while step < last:
+            remaining = last - step
+            if math.isinf(cfg.f0):
+                epoch_steps = remaining
+            else:
+                epoch_steps = min(cfg.lb_check_interval, remaining)
+            epoch = self._run_epoch(world, partition, caches, step, epoch_steps)
+            result.epochs.append(epoch)
+            for s in range(epoch_steps):
+                rebalancer.record(epoch.igbp_per_rank_step[s])
+            step += epoch_steps
+            new = rebalancer.maybe_rebalance(partition, step)
+            if new is not None:
+                partition = new
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _run_epoch(
+        self,
+        world: _WorldState,
+        partition: Partition,
+        caches,
+        first_step: int,
+        nsteps: int,
+    ) -> EpochResult:
+        cfg = self.config
+        nprocs = partition.nprocs
+        neighbors = _halo_neighbors(partition)
+        dcf_cfg = DcfConfig(
+            search_lists=cfg.search_lists, use_restart=cfg.use_restart
+        )
+        grid_of_rank = [partition.grid_of_rank(r) for r in range(nprocs)]
+        rank_boxes = [partition.subdomain_of(r).box for r in range(nprocs)]
+        ranks_of_grid = {
+            gi: partition.ranks_of_grid(gi) for gi in range(partition.ngrids)
+        }
+
+        from repro.grids.subdomain import interior_face_points
+
+        def program(comm):
+            rank = comm.rank
+            gi = grid_of_rank[rank]
+            grid0 = cfg.grids[gi]
+            box = rank_boxes[rank]
+            own_pts = box.npoints
+            # Fraction of this subdomain's points in the halo-adjacent
+            # strip (the part that must wait for neighbour data when
+            # overlapping communication with computation).
+            strip = min(
+                0.9, interior_face_points(box, grid0.dims) / max(1, own_pts)
+            )
+            flow_flops = cfg.work.flow_flops(
+                own_pts, grid0.viscous, grid0.turbulence, grid0.ndim
+            )
+            moves = gi in cfg.motions
+            stats_out: list[StepStats] = []
+
+            for s in range(nsteps):
+                step = first_step + s
+                # ---- (1) flow solve -------------------------------------
+                yield from comm.set_phase(PHASE_FLOW)
+                if cfg.overlap_halo:
+                    # Section-5 latency hiding: inject halos, sweep the
+                    # interior while they fly, then finish the strip.
+                    for _ in range(cfg.work.halo_exchanges_per_step):
+                        for nbr, shared in neighbors[rank]:
+                            yield from comm.send(
+                                nbr, TAG_HALO, None,
+                                nbytes=cfg.work.halo_bytes(shared),
+                            )
+                        yield from comm.compute(
+                            flops=flow_flops
+                            * (1.0 - strip)
+                            / cfg.work.halo_exchanges_per_step,
+                            points_per_node=own_pts,
+                        )
+                        for nbr, _ in neighbors[rank]:
+                            yield from comm.recv(nbr, TAG_HALO)
+                        yield from comm.compute(
+                            flops=flow_flops
+                            * strip
+                            / cfg.work.halo_exchanges_per_step,
+                            points_per_node=own_pts,
+                        )
+                else:
+                    yield from comm.compute(
+                        flops=flow_flops, points_per_node=own_pts
+                    )
+                    for _ in range(cfg.work.halo_exchanges_per_step):
+                        for nbr, shared in neighbors[rank]:
+                            yield from comm.send(
+                                nbr, TAG_HALO, None,
+                                nbytes=cfg.work.halo_bytes(shared),
+                            )
+                        for nbr, _ in neighbors[rank]:
+                            yield from comm.recv(nbr, TAG_HALO)
+                yield from comm.barrier()
+
+                # ---- (2) grid motion ------------------------------------
+                yield from comm.set_phase(PHASE_MOTION)
+                if moves:
+                    yield from comm.compute(
+                        flops=cfg.work.motion_flops(own_pts)
+                    )
+                if rank == 0:
+                    world.advance((step + 1) * cfg.dt)
+                yield from comm.barrier()
+
+                # ---- (3) domain connectivity ----------------------------
+                yield from comm.set_phase(PHASE_DCF)
+                yield from comm.compute(
+                    flops=cfg.work.holecut_flops_per_point * own_pts
+                )
+                dcf_world = DcfWorld(
+                    grid_xyz=[g.xyz for g in world.grids],
+                    grid_of_rank=grid_of_rank,
+                    rank_boxes=rank_boxes,
+                    ranks_of_grid=ranks_of_grid,
+                    config=dcf_cfg,
+                    work=cfg.work,
+                )
+                flat, pts = world.own_igbps(partition, rank)
+                _, cstats = yield from dcf_rank_program(
+                    comm, dcf_world, flat, pts, caches[rank]
+                )
+                stats_out.append(
+                    StepStats(
+                        step=step,
+                        igbps_received=cstats.igbps_received,
+                        search_steps=cstats.search_steps,
+                        donors_found=cstats.donors_found,
+                        orphans=cstats.orphans,
+                    )
+                )
+                yield from comm.barrier()
+            return stats_out
+
+        sim = Simulator(cfg.machine.with_nodes(nprocs))
+        sim.spawn_all(program)
+        out = sim.run()
+
+        m = out.metrics
+        phases = m.phases()
+        igbp = np.zeros((nsteps, nprocs), dtype=np.int64)
+        search_total = 0
+        orphans_total = 0
+        for rank, stats in enumerate(out.returns):
+            for s, st in enumerate(stats):
+                igbp[s, rank] = st.igbps_received
+                search_total += st.search_steps
+                orphans_total += st.orphans
+        return EpochResult(
+            partition=partition,
+            first_step=first_step,
+            nsteps=nsteps,
+            elapsed=out.elapsed,
+            phase_totals={
+                p: sum(r.phase_time(p) for r in m.ranks) for p in phases
+            },
+            phase_max={p: m.phase_time_max(p) for p in phases},
+            total_flops=m.total_flops(),
+            igbp_per_rank_step=igbp,
+            search_steps_total=search_total,
+            orphans_total=orphans_total,
+        )

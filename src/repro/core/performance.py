@@ -1,0 +1,133 @@
+"""Assembling the paper's performance tables from driver runs.
+
+Each of Tables 1/3/4 reports, per node count: average Mflops/node,
+parallel speedup (relative to the smallest partition tested), and the
+percentage of time spent in DCF3D.  Figures 5/7/10/11 plot the speedup
+of OVERFLOW, DCF3D and the combination separately.  This module turns a
+set of :class:`repro.core.overflow_d1.RunResult` at different node
+counts into those rows and series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.overflow_d1 import PHASE_DCF, PHASE_FLOW, RunResult
+
+
+def serial_time_per_step(config) -> float:
+    """Estimated time per step of the *serial* (single-processor) code
+    on ``config.machine`` — the paper's Cray-YMP baseline in Table 6.
+
+    One processor executes everything with no communication: flow-solve
+    arithmetic on all gridpoints, grid motion, hole cutting, and the
+    connectivity solve (request bookkeeping + donor service + a short
+    warm-started walk per IGBP).
+    """
+    from repro.connectivity.holecut import cut_holes
+    from repro.connectivity.igbp import find_igbps
+
+    if config.machine.nodes != 1:
+        raise ValueError("serial baseline wants a 1-node machine")
+    work = config.work
+    ndim = config.ndim
+    flops = 0.0
+    for g in config.grids:
+        flops += work.flow_flops(g.npoints, g.viscous, g.turbulence, ndim)
+        flops += work.holecut_flops_per_point * g.npoints
+    for gi in config.motions:
+        flops += work.motion_flops(config.grids[gi].npoints)
+    iblanks = cut_holes(config.grids)
+    igbps = sum(
+        find_igbps(g, i, iblanks[i], config.fringe_layers).count
+        for i, g in enumerate(config.grids)
+    )
+    per_igbp = (
+        work.igbp_request_flops
+        + work.igbp_service_flops
+        + work.interp_flops_per_igbp
+        + 2.0 * work.search_step_flops  # warm walk
+    )
+    flops += igbps * per_igbp
+    return config.machine.compute_time(flops)
+
+
+@dataclass
+class PerformanceTable:
+    """Rows of one performance table, in increasing node count."""
+
+    case: str
+    machine: str
+    rows: list[dict] = field(default_factory=list)
+
+    def headers(self) -> list[str]:
+        return [
+            "nodes",
+            "gridpoints/node",
+            "mflops/node",
+            "speedup",
+            "speedup_overflow",
+            "speedup_dcf3d",
+            "%dcf3d",
+            "time/step(s)",
+        ]
+
+    def format(self) -> str:
+        out = [f"{self.case} on {self.machine}"]
+        hdr = self.headers()
+        out.append("  ".join(f"{h:>16s}" for h in hdr))
+        for r in self.rows:
+            out.append(
+                "  ".join(
+                    f"{r[h]:>16.3f}" if isinstance(r[h], float) else f"{r[h]:>16d}"
+                    for h in hdr
+                )
+            )
+        return "\n".join(out)
+
+    def to_csv(self) -> str:
+        """CSV of the table — the raw series behind the paper's speedup
+        figures (one row per node count; plot speedup_overflow,
+        speedup_dcf3d and speedup against nodes for Figs. 5/7/10/11)."""
+        hdr = self.headers()
+        lines = [",".join(h.replace(" ", "_") for h in hdr)]
+        for r in self.rows:
+            lines.append(
+                ",".join(
+                    f"{r[h]:.6g}" if isinstance(r[h], float) else str(r[h])
+                    for h in hdr
+                )
+            )
+        return "\n".join(lines)
+
+
+def speedup_table(
+    runs: list[RunResult], total_gridpoints: int
+) -> PerformanceTable:
+    """Build the paper's table/figure content from runs at several node
+    counts.  Speedups are relative to the smallest run, scaled by its
+    node count ratio as in the paper (speedup of the base row = 1)."""
+    if not runs:
+        raise ValueError("no runs")
+    runs = sorted(runs, key=lambda r: r.nprocs)
+    base = runs[0]
+    base_time = base.time_per_step
+    base_flow = base.phase_elapsed(PHASE_FLOW) / base.nsteps
+    base_dcf = base.phase_elapsed(PHASE_DCF) / base.nsteps
+    table = PerformanceTable(case=base.case, machine=base.machine)
+    for r in runs:
+        flow_t = r.phase_elapsed(PHASE_FLOW) / r.nsteps
+        dcf_t = r.phase_elapsed(PHASE_DCF) / r.nsteps
+        table.rows.append(
+            {
+                "nodes": r.nprocs,
+                "gridpoints/node": float(total_gridpoints / r.nprocs),
+                "mflops/node": r.mflops_per_node,
+                "speedup": base_time / r.time_per_step,
+                "speedup_overflow": base_flow / flow_t if flow_t else float("nan"),
+                "speedup_dcf3d": base_dcf / dcf_t if dcf_t else float("nan"),
+                "%dcf3d": r.pct_dcf3d,
+                "time/step(s)": r.time_per_step,
+            }
+        )
+    return table

@@ -1,0 +1,22 @@
+"""Overset2D: the real-physics serial driver (2-D).
+
+A thin dimensional wrapper over :class:`repro.core.overset.OversetDriver`
+— see that module for the coupled solution procedure ("the solution
+proceeds by updating, at each step, the boundary conditions on each
+grid with the interpolated data", paper section 2.0).
+"""
+
+from __future__ import annotations
+
+from repro.core.overset import ConnectivityReport, OversetDriver
+
+__all__ = ["ConnectivityReport", "Overset2D"]
+
+
+class Overset2D(OversetDriver):
+    """Serial dynamic-overset driver over real 2-D flow solvers."""
+
+    def __init__(self, grids, flow, search_lists, **kw):
+        if grids and grids[0].ndim != 2:
+            raise ValueError("Overset2D is 2-D only")
+        super().__init__(grids, flow, search_lists, **kw)

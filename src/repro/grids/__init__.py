@@ -1,0 +1,37 @@
+"""Structured grid infrastructure for the overset (Chimera) scheme.
+
+Component grids are body-fitted curvilinear grids or uniform Cartesian
+background grids that overlap one another by one or more cells (paper
+section 2.0).  This subpackage provides:
+
+* :class:`CurvilinearGrid` — structured grids with explicit coordinates
+  (2-D or 3-D), coarsen/refine for the paper's scale-up study;
+* :class:`CartesianGrid` — uniform grids fully described by the paper's
+  "seven parameters" (bounding box + spacing, section 5.0);
+* index-space boxes and prime-factor subdomain decomposition helpers
+  used by the static load balancer;
+* axis-aligned bounding boxes used for donor-search routing;
+* rigid-motion transforms applied to moving component grids.
+"""
+
+from repro.grids.bbox import AABB
+from repro.grids.structured import BoundaryFace, CurvilinearGrid
+from repro.grids.cartesian import CartesianGrid
+from repro.grids.subdomain import Box, Subdomain, interior_face_points
+from repro.grids.motion import RigidMotion
+from repro.grids.gridmetrics import Metrics2D, metrics2d
+from repro.grids import generators
+
+__all__ = [
+    "AABB",
+    "BoundaryFace",
+    "CurvilinearGrid",
+    "CartesianGrid",
+    "Box",
+    "Subdomain",
+    "interior_face_points",
+    "RigidMotion",
+    "Metrics2D",
+    "metrics2d",
+    "generators",
+]

@@ -1,0 +1,107 @@
+"""Rigid-body transforms applied to moving component grids.
+
+Chimera moving-grid calculations move whole component grids rigidly
+(paper section 2.0: "unsteady moving-grid calculations can be performed
+without stretching or distorting the respective grid systems").  A
+:class:`RigidMotion` is ``x' = R @ (x - c) + c + t`` with rotation R
+about center c plus translation t, in 2-D or 3-D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RigidMotion:
+    """An affine rigid transform (rotation about a center + translation)."""
+
+    def __init__(self, rotation: np.ndarray, translation, center=None):
+        self.rotation = np.asarray(rotation, dtype=float)
+        self.translation = np.asarray(translation, dtype=float)
+        ndim = self.translation.shape[0]
+        if self.rotation.shape != (ndim, ndim):
+            raise ValueError(
+                f"rotation {self.rotation.shape} inconsistent with "
+                f"translation dim {ndim}"
+            )
+        self.center = (
+            np.zeros(ndim) if center is None else np.asarray(center, dtype=float)
+        )
+        # Orthonormality check: R @ R.T == I within tolerance.
+        err = np.abs(self.rotation @ self.rotation.T - np.eye(ndim)).max()
+        if err > 1e-9:
+            raise ValueError(f"rotation is not orthonormal (error {err:.2e})")
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def identity(cls, ndim: int) -> "RigidMotion":
+        return cls(np.eye(ndim), np.zeros(ndim))
+
+    @classmethod
+    def translation_of(cls, vec) -> "RigidMotion":
+        vec = np.asarray(vec, dtype=float)
+        return cls(np.eye(vec.shape[0]), vec)
+
+    @classmethod
+    def rotation2d(cls, angle: float, center=None) -> "RigidMotion":
+        """2-D rotation by ``angle`` radians about ``center``."""
+        c, s = np.cos(angle), np.sin(angle)
+        return cls(np.array([[c, -s], [s, c]]), np.zeros(2), center)
+
+    @classmethod
+    def rotation3d(cls, axis, angle: float, center=None) -> "RigidMotion":
+        """3-D rotation by ``angle`` radians about unit vector ``axis``
+        through ``center`` (Rodrigues formula)."""
+        a = np.asarray(axis, dtype=float)
+        norm = np.linalg.norm(a)
+        if norm == 0:
+            raise ValueError("axis must be nonzero")
+        a = a / norm
+        K = np.array(
+            [[0, -a[2], a[1]], [a[2], 0, -a[0]], [-a[1], a[0], 0]]
+        )
+        R = np.eye(3) + np.sin(angle) * K + (1 - np.cos(angle)) * (K @ K)
+        return cls(R, np.zeros(3), center)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return self.translation.shape[0]
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Transform points of shape (..., ndim); returns a new array."""
+        pts = np.asarray(points, dtype=float)
+        rel = pts - self.center
+        moved = rel @ self.rotation.T
+        return moved + self.center + self.translation
+
+    def then(self, other: "RigidMotion") -> "RigidMotion":
+        """Composition: apply ``self`` first, then ``other``.
+
+        The composite is expressed with center at the origin.
+        """
+        # x2 = R2 (R1 (x - c1) + c1 + t1 - c2) + c2 + t2 = R x + d
+        R = other.rotation @ self.rotation
+        d = self.apply(np.zeros(self.ndim))
+        d = other.apply(d)
+        return RigidMotion(R, d, center=np.zeros(self.ndim))
+
+    def inverse(self) -> "RigidMotion":
+        Rinv = self.rotation.T
+        # x = Rinv (x' - c - t) + c  ->  express with origin center.
+        d = -(Rinv @ (self.translation + self.center)) + self.center
+        return RigidMotion(Rinv, d, center=np.zeros(self.ndim))
+
+    def is_identity(self, tol: float = 1e-12) -> bool:
+        return bool(
+            np.abs(self.rotation - np.eye(self.ndim)).max() <= tol
+            and np.abs(self.apply(np.zeros(self.ndim))).max() <= tol
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RigidMotion(ndim={self.ndim}, t={self.translation.tolist()}, "
+            f"c={self.center.tolist()})"
+        )

@@ -1,0 +1,181 @@
+"""Curvilinear structured component grids.
+
+A :class:`CurvilinearGrid` stores node coordinates as an array of shape
+``(ni, nj, ndim)`` in 2-D or ``(ni, nj, nk, ndim)`` in 3-D.  Grids may be
+flagged viscous (Navier–Stokes terms active) and carry a turbulence
+model, which affects the per-point work estimate of the flow solver
+(paper section 3.0 notes this variation is modest for the cases run).
+
+``coarsen``/``refine`` implement the paper's scale-up construction
+(section 4.1): coarsening removes every other gridpoint; refinement
+inserts a midpoint between neighbours — each changes the point count by
+roughly 2**ndim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grids.bbox import AABB
+
+_FACES_2D = ("imin", "imax", "jmin", "jmax")
+_FACES_3D = _FACES_2D + ("kmin", "kmax")
+
+
+@dataclass(frozen=True)
+class BoundaryFace:
+    """One logical face of a grid flagged with a boundary kind.
+
+    ``kind`` is one of ``wall`` (solid surface: cuts holes in overlapping
+    grids and receives no-slip/slip conditions), ``farfield``, ``overset``
+    (outer fringe: boundary values interpolated from donor grids), or
+    ``periodic`` (O-grid wrap in i).
+    """
+
+    face: str  # imin/imax/jmin/jmax/kmin/kmax
+    kind: str  # wall/farfield/overset/periodic
+
+    def __post_init__(self):
+        if self.face not in _FACES_3D:
+            raise ValueError(f"unknown face {self.face!r}")
+        if self.kind not in ("wall", "farfield", "overset", "periodic"):
+            raise ValueError(f"unknown boundary kind {self.kind!r}")
+
+
+class CurvilinearGrid:
+    """A structured, body-fitted component grid."""
+
+    def __init__(
+        self,
+        name: str,
+        xyz: np.ndarray,
+        boundaries: tuple[BoundaryFace, ...] = (),
+        viscous: bool = False,
+        turbulence: bool = False,
+    ):
+        xyz = np.ascontiguousarray(xyz, dtype=float)
+        if xyz.ndim not in (3, 4) or xyz.shape[-1] != xyz.ndim - 1:
+            raise ValueError(
+                f"xyz must be (ni, nj, 2) or (ni, nj, nk, 3); got {xyz.shape}"
+            )
+        if any(d < 2 for d in xyz.shape[:-1]):
+            raise ValueError(f"need >= 2 points per direction; got {xyz.shape}")
+        self.name = name
+        self.xyz = xyz
+        self.boundaries = tuple(boundaries)
+        self.viscous = viscous
+        self.turbulence = turbulence
+        for b in self.boundaries:
+            if self.ndim == 2 and b.face in ("kmin", "kmax"):
+                raise ValueError(f"face {b.face} invalid on a 2-D grid")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return self.xyz.shape[-1]
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Point counts per index direction."""
+        return self.xyz.shape[:-1]
+
+    @property
+    def npoints(self) -> int:
+        return int(np.prod(self.dims))
+
+    @property
+    def ncells(self) -> int:
+        return int(np.prod([d - 1 for d in self.dims]))
+
+    def points_flat(self) -> np.ndarray:
+        """View of the coordinates as (npoints, ndim), C order."""
+        return self.xyz.reshape(-1, self.ndim)
+
+    def bounding_box(self) -> AABB:
+        return AABB.of_points(self.points_flat())
+
+    def with_coordinates(self, xyz: np.ndarray) -> "CurvilinearGrid":
+        """Same grid (flags, boundaries) with new node coordinates —
+        how moving grids are updated each timestep."""
+        return CurvilinearGrid(
+            self.name, xyz, self.boundaries, self.viscous, self.turbulence
+        )
+
+    # ------------------------------------------------------------------
+
+    def wall_faces(self) -> tuple[BoundaryFace, ...]:
+        return tuple(b for b in self.boundaries if b.kind == "wall")
+
+    def face_points(self, face: str) -> np.ndarray:
+        """Coordinates of one logical face, shape (..., ndim)."""
+        sl = self._face_slicer(face)
+        return self.xyz[sl]
+
+    def face_index(self, face: str) -> np.ndarray:
+        """Flat point indices making up one logical face."""
+        idx = np.arange(self.npoints).reshape(self.dims)
+        return idx[self._face_slicer(face)].ravel()
+
+    def _face_slicer(self, face: str):
+        faces = _FACES_2D if self.ndim == 2 else _FACES_3D
+        if face not in faces:
+            raise ValueError(f"face {face!r} invalid for {self.ndim}-D grid")
+        axis = {"i": 0, "j": 1, "k": 2}[face[0]]
+        pos = 0 if face.endswith("min") else -1
+        sl: list = [slice(None)] * self.ndim
+        sl[axis] = pos
+        return tuple(sl)
+
+    # ------------------------------------------------------------------
+    # scale-up study support (paper section 4.1)
+    # ------------------------------------------------------------------
+
+    def coarsened(self) -> "CurvilinearGrid":
+        """Remove every other gridpoint (always keeping the last point so
+        the physical extent is preserved)."""
+        sl = []
+        for d in self.dims:
+            keep = list(range(0, d, 2))
+            if keep[-1] != d - 1:
+                keep.append(d - 1)
+            sl.append(np.array(keep))
+        out = self.xyz
+        for axis, keep in enumerate(sl):
+            out = np.take(out, keep, axis=axis)
+        return self.with_coordinates(out)
+
+    def refined(self) -> "CurvilinearGrid":
+        """Insert a midpoint between neighbouring points in every
+        direction: point count grows by about 2**ndim."""
+        out = self.xyz
+        for axis in range(self.ndim):
+            lo = np.take(out, range(out.shape[axis] - 1), axis=axis)
+            hi = np.take(out, range(1, out.shape[axis]), axis=axis)
+            mid = 0.5 * (lo + hi)
+            n = out.shape[axis]
+            shape = list(out.shape)
+            shape[axis] = 2 * n - 1
+            merged = np.empty(shape, dtype=float)
+            sl_even: list = [slice(None)] * merged.ndim
+            sl_even[axis] = slice(0, None, 2)
+            sl_odd: list = [slice(None)] * merged.ndim
+            sl_odd[axis] = slice(1, None, 2)
+            merged[tuple(sl_even)] = out
+            merged[tuple(sl_odd)] = mid
+            out = merged
+        return self.with_coordinates(out)
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(d) for d in self.dims)
+        tags = []
+        if self.viscous:
+            tags.append("viscous")
+        if self.turbulence:
+            tags.append("turb")
+        tag = f" [{','.join(tags)}]" if tags else ""
+        return f"CurvilinearGrid({self.name!r}, {dims}, {self.npoints} pts{tag})"

@@ -1,0 +1,92 @@
+"""Messages and per-rank mailboxes for the event-driven network model.
+
+A :class:`Message` records who sent it, when it arrives (virtual seconds),
+its payload and size.  Each rank owns a :class:`Mailbox` holding messages
+that have been *injected* but possibly not yet *arrived*; matching honours
+MPI semantics — per (source, tag) channel, messages are matched in arrival
+order, and wildcards (:data:`ANY_SOURCE`, :data:`ANY_TAG`) match the
+earliest-arriving candidate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_seq = itertools.count()
+
+
+@dataclass
+class Message:
+    """One in-flight or delivered point-to-point message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    send_time: float     # sender clock when injection completed
+    arrival_time: float  # virtual time the message becomes receivable
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def matches(self, src: int, tag: int) -> bool:
+        """Does this message satisfy a receive posted for (src, tag)?"""
+        return (src == ANY_SOURCE or src == self.src) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+class Mailbox:
+    """Unmatched messages destined for one rank.
+
+    Messages live here from injection until a matching receive consumes
+    them.  ``pop_matching`` only returns messages whose ``arrival_time`` is
+    at or before the probing rank's clock *unless* ``allow_future`` is set
+    (used by blocking receives, which are willing to wait for arrival).
+    """
+
+    def __init__(self) -> None:
+        self._messages: list[Message] = []
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def deposit(self, msg: Message) -> None:
+        self._messages.append(msg)
+        # Keep arrival order so wildcard receives are deterministic.
+        self._messages.sort(key=lambda m: (m.arrival_time, m.seq))
+
+    def peek_matching(
+        self, src: int, tag: int, now: float, allow_future: bool = False
+    ) -> Message | None:
+        """Earliest matching message, or None.
+
+        With ``allow_future`` False (probe semantics) only messages that
+        have already arrived by ``now`` are visible.
+        """
+        for msg in self._messages:
+            if msg.matches(src, tag) and (allow_future or msg.arrival_time <= now):
+                return msg
+        return None
+
+    def pop_matching(
+        self, src: int, tag: int, now: float, allow_future: bool = False
+    ) -> Message | None:
+        msg = self.peek_matching(src, tag, now, allow_future)
+        if msg is not None:
+            self._messages.remove(msg)
+        return msg
+
+    def earliest_arrival(self) -> float | None:
+        """Arrival time of the earliest message, or None if empty."""
+        if not self._messages:
+            return None
+        return self._messages[0].arrival_time
+
+    def pending(self) -> list[Message]:
+        """Snapshot of unmatched messages (for deadlock diagnostics)."""
+        return list(self._messages)

@@ -1,0 +1,125 @@
+"""Per-rank and machine-wide accounting of virtual time, flops and traffic.
+
+The paper's evaluation reports three derived statistics per run (Tables
+1--6): average Mflops/node, parallel speedup, and percentage of time in
+the connectivity solution.  All three come from per-phase virtual-time
+accounting collected here.  A *phase* is a caller-chosen label
+("overflow", "dcf3d", "motion", ...) set through
+:meth:`repro.machine.simmpi.Comm.set_phase`; within a phase, time is
+split into ``compute`` (charged flops), ``comm`` (message injection and
+polling) and ``wait`` (idle, blocked on a receive or collective).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+KINDS = ("compute", "comm", "wait")
+
+
+@dataclass
+class RankMetrics:
+    """Accounting for a single rank."""
+
+    rank: int
+    time: dict = field(default_factory=lambda: defaultdict(lambda: defaultdict(float)))
+    flops: dict = field(default_factory=lambda: defaultdict(float))
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    final_clock: float = 0.0
+
+    def add_time(self, phase: str, kind: str, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"negative time increment {dt} in phase {phase!r}")
+        self.time[phase][kind] += dt
+
+    def add_flops(self, phase: str, flops: float) -> None:
+        self.flops[phase] += flops
+
+    def phase_time(self, phase: str) -> float:
+        """Total virtual seconds attributed to ``phase`` on this rank."""
+        return sum(self.time[phase].values())
+
+    def total_time(self) -> float:
+        return sum(self.phase_time(p) for p in self.time)
+
+    def total_flops(self) -> float:
+        return sum(self.flops.values())
+
+
+class MachineMetrics:
+    """Aggregate view over all ranks of one simulation."""
+
+    def __init__(self, ranks: list[RankMetrics]):
+        if not ranks:
+            raise ValueError("no rank metrics")
+        self.ranks = ranks
+
+    @property
+    def nranks(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual wall-clock of the run: the latest final rank clock."""
+        return max(r.final_clock for r in self.ranks)
+
+    def phases(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.ranks:
+            for p in r.time:
+                seen.setdefault(p)
+        return list(seen)
+
+    def phase_time_max(self, phase: str) -> float:
+        """Critical-path estimate: slowest rank's time in ``phase``.
+
+        With barriers between phases (as in OVERFLOW-D1) the elapsed time
+        of a phase is governed by its slowest rank.
+        """
+        return max(r.phase_time(phase) for r in self.ranks)
+
+    def phase_time_avg(self, phase: str) -> float:
+        return sum(r.phase_time(phase) for r in self.ranks) / self.nranks
+
+    def phase_fraction(self, phase: str) -> float:
+        """Fraction of total (summed over ranks) time spent in ``phase``."""
+        total = sum(r.total_time() for r in self.ranks)
+        if total == 0:
+            return 0.0
+        return sum(r.phase_time(phase) for r in self.ranks) / total
+
+    def imbalance(self, phase: str) -> float:
+        """max/avg load-imbalance factor for a phase (1.0 = perfect)."""
+        avg = self.phase_time_avg(phase)
+        if avg == 0:
+            return 1.0
+        return self.phase_time_max(phase) / avg
+
+    def total_flops(self) -> float:
+        return sum(r.total_flops() for r in self.ranks)
+
+    def mflops_per_node(self) -> float:
+        """Average Mflop/s/node over the run (the paper's Table-1 metric)."""
+        if self.elapsed == 0:
+            return 0.0
+        return self.total_flops() / self.elapsed / self.nranks / 1.0e6
+
+    def summary(self) -> dict:
+        """Plain-dict summary convenient for printing/serialising."""
+        return {
+            "nranks": self.nranks,
+            "elapsed": self.elapsed,
+            "mflops_per_node": self.mflops_per_node(),
+            "phases": {
+                p: {
+                    "max": self.phase_time_max(p),
+                    "avg": self.phase_time_avg(p),
+                    "imbalance": self.imbalance(p),
+                    "fraction": self.phase_fraction(p),
+                }
+                for p in self.phases()
+            },
+        }

@@ -1,0 +1,264 @@
+"""Conservative discrete-event scheduler for SimMPI rank programs.
+
+The engine always advances the rank with the globally minimum virtual
+time among (a) runnable ranks (key = their clock) and (b) blocked ranks
+with a matching message already in their mailbox (key = the wake time,
+``max(clock, arrival)``).  Because every future send must be issued by a
+rank whose clock is at least that minimum, no message that could alter a
+receive matching can arrive at or before the chosen key — the classic
+conservative-PDES safety argument — so execution is deterministic and
+independent of host scheduling.
+
+Ties are broken by rank id, making runs byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.machine.event import ANY_SOURCE, ANY_TAG, Mailbox, Message
+from repro.machine.metrics import MachineMetrics, RankMetrics
+from repro.machine.simmpi import Comm
+from repro.machine.spec import MachineSpec
+
+
+class DeadlockError(RuntimeError):
+    """All live ranks are blocked on receives that can never complete."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated run."""
+
+    elapsed: float
+    returns: list[Any]
+    metrics: MachineMetrics
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResult(elapsed={self.elapsed:.6g}s, "
+            f"ranks={self.metrics.nranks})"
+        )
+
+
+class _RankState:
+    """Book-keeping for one rank's coroutine."""
+
+    __slots__ = (
+        "rank",
+        "gen",
+        "clock",
+        "mailbox",
+        "blocked_on",
+        "phase",
+        "metrics",
+        "alive",
+        "retval",
+        "send_value",
+    )
+
+    def __init__(self, rank: int, gen: Generator):
+        self.rank = rank
+        self.gen = gen
+        self.clock = 0.0
+        self.mailbox = Mailbox()
+        self.blocked_on: tuple[int, int] | None = None  # (src, tag) of a recv
+        self.phase = "default"
+        self.metrics = RankMetrics(rank)
+        self.alive = True
+        self.retval: Any = None
+        self.send_value: Any = None  # value to feed into the next gen.send
+
+
+class Simulator:
+    """Run a set of rank programs over a :class:`MachineSpec`.
+
+    Programs are generator functions ``program(comm, *args) -> Generator``;
+    their return value (via ``return``) is collected into
+    :attr:`SimulationResult.returns` indexed by rank.
+    """
+
+    def __init__(self, machine: MachineSpec, trace: Callable[[str], None] | None = None):
+        self.machine = machine
+        self.trace = trace
+        self._programs: list[tuple[Callable, tuple, dict]] = []
+
+    # ------------------------------------------------------------------
+
+    def spawn(self, program: Callable, *args, **kwargs) -> int:
+        """Register one rank program; returns the rank it will run as."""
+        if len(self._programs) >= self.machine.nodes:
+            raise ValueError(
+                f"machine has {self.machine.nodes} nodes; cannot spawn more ranks"
+            )
+        self._programs.append((program, args, kwargs))
+        return len(self._programs) - 1
+
+    def spawn_all(self, program: Callable, *args, **kwargs) -> None:
+        """Register the same program on every node (SPMD style)."""
+        for _ in range(self.machine.nodes):
+            self.spawn(program, *args, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_events: int = 500_000_000) -> SimulationResult:
+        """Execute all rank programs to completion; returns the result."""
+        n = len(self._programs)
+        if n == 0:
+            raise ValueError("no rank programs spawned")
+        states = []
+        for rank, (program, args, kwargs) in enumerate(self._programs):
+            comm = Comm(rank, n, self.machine)
+            states.append(_RankState(rank, program(comm, *args, **kwargs)))
+        self._states = states
+
+        events = 0
+        while True:
+            state = self._pick_next(states)
+            if state is None:
+                break
+            events += 1
+            if events > max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+            self._step(state)
+
+        dead = [s for s in states if s.alive]
+        if dead:
+            detail = "; ".join(
+                f"rank {s.rank} blocked on recv(src={s.blocked_on[0]}, "
+                f"tag={s.blocked_on[1]}) at t={s.clock:.6g} "
+                f"(mailbox: {[(m.src, m.tag) for m in s.mailbox.pending()]})"
+                for s in dead
+            )
+            raise DeadlockError(f"deadlock among {len(dead)} ranks: {detail}")
+
+        for s in states:
+            s.metrics.final_clock = s.clock
+        metrics = MachineMetrics([s.metrics for s in states])
+        return SimulationResult(
+            elapsed=metrics.elapsed,
+            returns=[s.retval for s in states],
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pick_next(states: list[_RankState]) -> _RankState | None:
+        """Rank with minimal next-event time (see module docstring)."""
+        best: _RankState | None = None
+        best_key: tuple[float, int] | None = None
+        for s in states:
+            if not s.alive:
+                continue
+            if s.blocked_on is None:
+                key = (s.clock, s.rank)
+            else:
+                src, tag = s.blocked_on
+                msg = s.mailbox.peek_matching(src, tag, s.clock, allow_future=True)
+                if msg is None:
+                    continue  # blocked, not wakeable yet
+                key = (max(s.clock, msg.arrival_time), s.rank)
+            if best_key is None or key < best_key:
+                best, best_key = s, key
+        return best
+
+    def _step(self, state: _RankState) -> None:
+        """Advance one rank by one primitive operation."""
+        if state.blocked_on is not None:
+            # Wakeable blocked receive: complete it now.
+            src, tag = state.blocked_on
+            msg = state.mailbox.pop_matching(src, tag, state.clock, allow_future=True)
+            assert msg is not None, "scheduler picked a non-wakeable blocked rank"
+            self._complete_recv(state, msg)
+            state.blocked_on = None
+            return
+        try:
+            op = state.gen.send(state.send_value)
+        except StopIteration as stop:
+            state.alive = False
+            state.retval = stop.value
+            return
+        state.send_value = None
+        self._dispatch(state, op)
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, state: _RankState, op: tuple) -> None:
+        kind = op[0]
+        if kind == "compute":
+            _, dt, flops = op
+            state.clock += dt
+            state.metrics.add_time(state.phase, "compute", dt)
+            if flops:
+                state.metrics.add_flops(state.phase, flops)
+        elif kind == "inject":
+            _, dst, tag, payload, nbytes = op
+            self._inject(state, dst, tag, payload, nbytes)
+        elif kind == "recv":
+            _, src, tag = op
+            msg = state.mailbox.pop_matching(src, tag, state.clock, allow_future=True)
+            if msg is not None:
+                self._complete_recv(state, msg)
+            else:
+                state.blocked_on = (src, tag)
+        elif kind == "tryrecv":
+            _, src, tag = op
+            self._charge_poll(state)
+            msg = state.mailbox.pop_matching(src, tag, state.clock, allow_future=False)
+            if msg is not None:
+                state.metrics.messages_received += 1
+            state.send_value = msg
+        elif kind == "iprobe":
+            _, src, tag = op
+            self._charge_poll(state)
+            msg = state.mailbox.peek_matching(src, tag, state.clock, allow_future=False)
+            state.send_value = msg is not None
+        elif kind == "now":
+            state.send_value = state.clock
+        elif kind == "set_phase":
+            old, state.phase = state.phase, op[1]
+            state.send_value = old
+        else:  # pragma: no cover - API misuse guard
+            raise ValueError(f"unknown primitive op {kind!r} from rank {state.rank}")
+
+    def _inject(self, state: _RankState, dst: int, tag: int, payload, nbytes: int) -> None:
+        net = self.machine.network
+        if dst == state.rank:
+            dt = net.overhead + nbytes * net.self_copy
+            arrival = state.clock + dt
+        else:
+            dt = net.injection_time(nbytes)
+            arrival = state.clock + dt + net.latency
+        state.clock += dt
+        state.metrics.add_time(state.phase, "comm", dt)
+        state.metrics.messages_sent += 1
+        state.metrics.bytes_sent += nbytes
+        msg = Message(
+            src=state.rank,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            send_time=state.clock,
+            arrival_time=arrival,
+        )
+        self._states[dst].mailbox.deposit(msg)
+        if self.trace is not None:  # pragma: no cover - debugging aid
+            self.trace(
+                f"t={state.clock:.6g} rank{state.rank} -> rank{dst} "
+                f"tag={tag} bytes={nbytes} arrives={arrival:.6g}"
+            )
+
+    def _complete_recv(self, state: _RankState, msg: Message) -> None:
+        wait = max(0.0, msg.arrival_time - state.clock)
+        state.clock = max(state.clock, msg.arrival_time)
+        state.metrics.add_time(state.phase, "wait", wait)
+        state.metrics.messages_received += 1
+        state.send_value = msg
+
+    def _charge_poll(self, state: _RankState) -> None:
+        dt = self.machine.network.poll_overhead
+        state.clock += dt
+        state.metrics.add_time(state.phase, "comm", dt)

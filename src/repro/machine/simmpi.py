@@ -1,0 +1,403 @@
+"""SimMPI: an MPI-flavoured message-passing API over the event simulator.
+
+Rank programs are generator functions taking a :class:`Comm`.  Every
+communication or compute call is a *sub-generator* and must be invoked
+with ``yield from``::
+
+    def program(comm):
+        yield from comm.compute(flops=2.0e6)
+        if comm.rank == 0:
+            yield from comm.send(1, tag=0, payload={"hello": 1}, nbytes=64)
+        else:
+            payload, status = yield from comm.recv(0, tag=0)
+        total = yield from comm.allreduce(comm.rank)
+
+The methods mirror the mpi4py surface the paper's codes rely on
+(send/recv, isend/irecv + wait/test, iprobe, bcast, gather, allreduce,
+barrier).  Collectives are built from point-to-point primitives with the
+classic O(log P) algorithms so their simulated cost scales realistically.
+
+Primitive operations are yielded to the scheduler as tuples; user code
+never sees them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+from repro.machine.event import ANY_SOURCE, ANY_TAG
+
+# Reserved tag space for collectives; user tags must be < _COLL_TAG_BASE.
+_COLL_TAG_BASE = 1_000_000_000
+_TAG_BARRIER = _COLL_TAG_BASE + 1
+_TAG_BCAST = _COLL_TAG_BASE + 2
+_TAG_GATHER = _COLL_TAG_BASE + 3
+_TAG_REDUCE = _COLL_TAG_BASE + 4
+_TAG_ALLTOALL = _COLL_TAG_BASE + 5
+
+
+@dataclass
+class Status:
+    """Receive status: who sent the matched message, with which tag."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+class Request:
+    """Handle for a non-blocking operation.
+
+    Sends complete eagerly (buffered-send model), so send requests are
+    born complete.  Receive requests hold their (src, tag) posting and are
+    completed by :meth:`Comm.wait` / :meth:`Comm.test`.
+    """
+
+    __slots__ = ("kind", "src", "tag", "done", "payload", "status")
+
+    def __init__(self, kind: str, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        self.kind = kind
+        self.src = src
+        self.tag = tag
+        self.done = kind == "send"
+        self.payload: Any = None
+        self.status: Status | None = None
+
+
+class Comm:
+    """Communicator bound to one rank of the simulated machine."""
+
+    def __init__(self, rank: int, size: int, machine):
+        self.rank = rank
+        self.size = size
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    # time and work
+    # ------------------------------------------------------------------
+
+    def compute(
+        self,
+        flops: float = 0.0,
+        seconds: float = 0.0,
+        points_per_node: float | None = None,
+    ) -> Generator:
+        """Charge compute work: ``flops`` at the node's effective rate
+        and/or raw ``seconds``.  ``points_per_node`` enables the cache
+        model of :class:`repro.machine.spec.NodeSpec`."""
+        dt = seconds
+        if flops:
+            dt += self.machine.compute_time(flops, points_per_node)
+        if dt or flops:
+            yield ("compute", dt, flops)
+        return None
+
+    def elapse(self, seconds: float) -> Generator:
+        """Advance this rank's clock without attributing flops."""
+        yield ("compute", seconds, 0.0)
+        return None
+
+    def now(self) -> Generator:
+        """Current virtual time on this rank."""
+        t = yield ("now",)
+        return t
+
+    def set_phase(self, phase: str) -> Generator:
+        """Switch the accounting phase; returns the previous phase."""
+        old = yield ("set_phase", phase)
+        return old
+
+    # ------------------------------------------------------------------
+    # point to point
+    # ------------------------------------------------------------------
+
+    def send(self, dst: int, tag: int, payload: Any = None, nbytes: int | None = None) -> Generator:
+        """Buffered (eager) send: returns once the message is injected."""
+        if not (0 <= dst < self.size):
+            raise ValueError(f"send to invalid rank {dst} (size {self.size})")
+        yield ("inject", dst, tag, payload, self._size_of(payload, nbytes))
+        return None
+
+    def isend(self, dst: int, tag: int, payload: Any = None, nbytes: int | None = None) -> Generator:
+        """Non-blocking send.  With the eager-send model this is the same
+        cost as :meth:`send`; the returned request is already complete."""
+        yield from self.send(dst, tag, payload, nbytes)
+        return Request("send")
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive; returns ``(payload, Status)``."""
+        msg = yield ("recv", src, tag)
+        return msg.payload, Status(msg.src, msg.tag, msg.nbytes)
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Post a non-blocking receive; complete with wait/test."""
+        yield from ()  # keep generator protocol uniform
+        return Request("recv", src, tag)
+
+    def wait(self, req: Request) -> Generator:
+        """Block until ``req`` completes; returns ``(payload, Status)``
+        for receives, ``(None, None)`` for sends."""
+        if req.done:
+            return req.payload, req.status
+        payload, status = yield from self.recv(req.src, req.tag)
+        req.done, req.payload, req.status = True, payload, status
+        return payload, status
+
+    def test(self, req: Request) -> Generator:
+        """Non-blocking completion check; returns ``True`` if done."""
+        if req.done:
+            return True
+        got = yield ("tryrecv", req.src, req.tag)
+        if got is None:
+            return False
+        req.done = True
+        req.payload = got.payload
+        req.status = Status(got.src, got.tag, got.nbytes)
+        return True
+
+    def waitall(self, reqs: Iterable[Request]) -> Generator:
+        out = []
+        for r in reqs:
+            out.append((yield from self.wait(r)))
+        return out
+
+    def iprobe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Has a matching message arrived?  Charges a polling overhead."""
+        found = yield ("iprobe", src, tag)
+        return found
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+
+    def barrier(self) -> Generator:
+        """Dissemination barrier: ceil(log2 P) rounds."""
+        p = self.size
+        if p == 1:
+            return None
+        rounds = max(1, math.ceil(math.log2(p)))
+        for k in range(rounds):
+            dist = 1 << k
+            yield from self.send((self.rank + dist) % p, _TAG_BARRIER + k, None, 8)
+            yield from self.recv((self.rank - dist) % p, _TAG_BARRIER + k)
+        return None
+
+    def bcast(self, payload: Any = None, root: int = 0, nbytes: int | None = None) -> Generator:
+        """Binomial-tree broadcast; every rank returns the root's payload.
+
+        Virtual rank 0 is the root; a rank receives from the sender one
+        step up its lowest-set-bit edge, then forwards down every lower
+        bit — the classic O(log P)-round binomial tree.
+        """
+        p = self.size
+        if p == 1:
+            return payload
+        vrank = (self.rank - root) % p
+        top = 1
+        while top < p:
+            top <<= 1
+        received = payload
+        mask = 1
+        while mask < top:
+            if vrank & mask:
+                src = (vrank - mask + root) % p
+                received, _ = yield from self.recv(src, _TAG_BCAST)
+                break
+            mask <<= 1
+        else:
+            mask = top  # vrank == 0: forward at every level
+        n = self._size_of(received, nbytes)
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < p:
+                dst = (vrank + mask + root) % p
+                yield from self.send(dst, _TAG_BCAST, received, n)
+            mask >>= 1
+        return received
+
+    def gather(self, payload: Any, root: int = 0, nbytes: int | None = None) -> Generator:
+        """Linear gather to root; root returns the list ordered by rank."""
+        if self.size == 1:
+            return [payload]
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = payload
+            for _ in range(self.size - 1):
+                data, status = yield from self.recv(ANY_SOURCE, _TAG_GATHER)
+                out[status.source] = data
+            return out
+        yield from self.send(root, _TAG_GATHER, payload, nbytes)
+        return None
+
+    def allgather(self, payload: Any, nbytes: int | None = None) -> Generator:
+        """Gather to rank 0 then broadcast (cost ~ gather + bcast)."""
+        gathered = yield from self.gather(payload, 0, nbytes)
+        n = None if nbytes is None else nbytes * self.size
+        return (yield from self.bcast(gathered, 0, n))
+
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        root: int = 0,
+        nbytes: int | None = None,
+    ) -> Generator:
+        """Gather-based reduce; root returns the reduction, others None."""
+        gathered = yield from self.gather(value, root, nbytes)
+        if self.rank != root:
+            return None
+        acc = gathered[0]
+        for v in gathered[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        nbytes: int | None = None,
+    ) -> Generator:
+        reduced = yield from self.reduce(value, op, 0, nbytes)
+        return (yield from self.bcast(reduced, 0, nbytes))
+
+    def alltoall(self, payloads: list, nbytes: int | None = None) -> Generator:
+        """Personalised all-to-all; ``payloads[i]`` goes to rank i."""
+        if len(payloads) != self.size:
+            raise ValueError("alltoall needs one payload per rank")
+        out: list[Any] = [None] * self.size
+        out[self.rank] = payloads[self.rank]
+        for dst in range(self.size):
+            if dst != self.rank:
+                yield from self.send(dst, _TAG_ALLTOALL, payloads[dst], nbytes)
+        for _ in range(self.size - 1):
+            data, status = yield from self.recv(ANY_SOURCE, _TAG_ALLTOALL)
+            out[status.source] = data
+        return out
+
+    def sendrecv(
+        self,
+        dst: int,
+        src: int,
+        tag: int,
+        payload: Any = None,
+        nbytes: int | None = None,
+    ) -> Generator:
+        """Combined exchange: eager send to ``dst``, then receive from
+        ``src`` with the same tag (deadlock-free with buffered sends)."""
+        yield from self.send(dst, tag, payload, nbytes)
+        return (yield from self.recv(src, tag))
+
+    # ------------------------------------------------------------------
+    # sub-communicators (the paper's per-grid processor groups)
+    # ------------------------------------------------------------------
+
+    def split(self, members: list[int]) -> "SubComm":
+        """Communicator over a subset of global ranks.
+
+        OVERFLOW assigns a processor *group* to each component grid
+        (paper Fig. 2); a :class:`SubComm` gives that group its own rank
+        numbering and collectives while routing over the global
+        communicator (tags are offset so concurrent groups do not cross
+        wires).  The calling rank must be a member.
+        """
+        return SubComm(self, members)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _size_of(payload: Any, nbytes: int | None) -> int:
+        """Message size in bytes: explicit, or estimated from the payload."""
+        if nbytes is not None:
+            return int(nbytes)
+        if payload is None:
+            return 8
+        if hasattr(payload, "nbytes"):  # numpy arrays
+            return int(payload.nbytes) + 16
+        if isinstance(payload, (bytes, bytearray)):
+            return len(payload) + 16
+        if isinstance(payload, (int, float, bool)):
+            return 16
+        if isinstance(payload, (list, tuple)):
+            return 16 + sum(Comm._size_of(p, None) for p in payload)
+        if isinstance(payload, dict):
+            return 16 + sum(
+                Comm._size_of(k, None) + Comm._size_of(v, None)
+                for k, v in payload.items()
+            )
+        return 64  # conservative default for small objects
+
+
+class SubComm(Comm):
+    """Group communicator: local ranks 0..len(members)-1 map onto a
+    sorted subset of global ranks.
+
+    Point-to-point and collective calls use group-local ranks; tags are
+    offset by a group-specific stride so that simultaneous collectives
+    in different groups never match each other's messages.  A rank may
+    hold several SubComms (e.g. its grid group and a row group).
+    """
+
+    _TAG_STRIDE = 10_000_000
+
+    def __init__(self, parent: Comm, members: list[int]):
+        members = sorted(set(int(m) for m in members))
+        if not members:
+            raise ValueError("empty group")
+        bad = [m for m in members if not (0 <= m < parent.size)]
+        if bad:
+            raise ValueError(f"group members out of range: {bad}")
+        if parent.rank not in members:
+            raise ValueError(
+                f"rank {parent.rank} is not a member of the group"
+            )
+        if isinstance(parent, SubComm):
+            raise ValueError("nested splits are not supported; split the "
+                             "global communicator instead")
+        self.parent = parent
+        self.members = members
+        # Group id from the member set: deterministic and identical on
+        # every member, so all of them offset tags the same way.
+        gid = hash(tuple(members)) % 997
+        self._tag_offset = (gid + 1) * self._TAG_STRIDE
+        super().__init__(members.index(parent.rank), len(members),
+                         parent.machine)
+
+    # -- rank/tag translation -------------------------------------------
+
+    def _global(self, local_rank: int) -> int:
+        if not (0 <= local_rank < self.size):
+            raise ValueError(
+                f"group rank {local_rank} out of range (size {self.size})"
+            )
+        return self.members[local_rank]
+
+    def _tag(self, tag: int) -> int:
+        if tag == ANY_TAG:
+            return ANY_TAG
+        return tag + self._tag_offset
+
+    # -- overridden primitives (everything else composes on these) -----
+
+    def send(self, dst, tag, payload=None, nbytes=None):
+        yield from self.parent.send(
+            self._global(dst), self._tag(tag), payload, nbytes
+        )
+        return None
+
+    def recv(self, src=ANY_SOURCE, tag=ANY_TAG):
+        gsrc = ANY_SOURCE if src == ANY_SOURCE else self._global(src)
+        msg = yield ("recv", gsrc, self._tag(tag))
+        local_src = (
+            self.members.index(msg.src) if msg.src in self.members else -1
+        )
+        local_tag = (
+            msg.tag - self._tag_offset if msg.tag != ANY_TAG else msg.tag
+        )
+        return msg.payload, Status(local_src, local_tag, msg.nbytes)
+
+    def iprobe(self, src=ANY_SOURCE, tag=ANY_TAG):
+        gsrc = ANY_SOURCE if src == ANY_SOURCE else self._global(src)
+        found = yield ("iprobe", gsrc, self._tag(tag))
+        return found

@@ -1,0 +1,37 @@
+"""SIXDOF-like rigid-body dynamics and prescribed motions.
+
+Step (2) of the paper's per-timestep loop: "move grid components
+associated with moving bodies subject to applied and aerodynamic loads
+(or according to a prescribed path)".  The paper's SIXDOF model [4]
+integrates the rigid-body equations from aerodynamic loads; all three
+test cases can equally use prescribed paths (the store case does, "with
+negligible change in the parallel performance").
+
+* :mod:`rigid` — rigid-body state with quaternion attitude;
+* :mod:`sixdof` — RK4 integration of forces/moments into motion;
+* :mod:`prescribed` — the paper's three motions: sinusoidal pitch
+  (airfoil), slow descent (delta wing), and a store-separation
+  trajectory (gravity drop + pitch-away).
+"""
+
+from repro.motion.rigid import RigidBodyState, Quaternion
+from repro.motion.sixdof import SixDof, Loads
+from repro.motion.prescribed import (
+    PitchOscillation,
+    SixDofMotion,
+    SteadyDescent,
+    StoreSeparation,
+    PrescribedMotion,
+)
+
+__all__ = [
+    "RigidBodyState",
+    "Quaternion",
+    "SixDof",
+    "Loads",
+    "PitchOscillation",
+    "SixDofMotion",
+    "SteadyDescent",
+    "StoreSeparation",
+    "PrescribedMotion",
+]

@@ -1,0 +1,113 @@
+"""Six-degree-of-freedom rigid-body integrator.
+
+Integrates Newton-Euler equations with RK4: translational dynamics in
+the inertial frame, rotational dynamics in the body frame with a
+diagonal inertia tensor (adequate for the near-axisymmetric store
+bodies of the paper's cases).  Loads (forces, moments, e.g. from
+:meth:`repro.solver.solver2d.Solver2D.surface_forces` plus gravity and
+ejector forces) are supplied by a callback evaluated at the step start
+and held constant across the step — the loose flow/motion coupling the
+paper's first-order-in-time scheme implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.motion.rigid import Quaternion, RigidBodyState
+
+
+@dataclass
+class Loads:
+    """Forces (inertial frame) and moments (body frame) on a body."""
+
+    force: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    moment: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+
+class SixDof:
+    """RK4 rigid-body integrator with constant loads per step."""
+
+    def __init__(
+        self,
+        mass: float,
+        inertia: np.ndarray | float,
+        state: RigidBodyState | None = None,
+    ):
+        if mass <= 0:
+            raise ValueError(f"mass must be positive, got {mass}")
+        self.mass = float(mass)
+        inertia = np.asarray(inertia, dtype=float)
+        if inertia.ndim == 0:
+            inertia = np.full(3, float(inertia))
+        if inertia.shape != (3,) or np.any(inertia <= 0):
+            raise ValueError("inertia must be 3 positive principal values")
+        self.inertia = inertia
+        self.state = state if state is not None else RigidBodyState()
+
+    # ------------------------------------------------------------------
+
+    def step(self, loads: Loads, dt: float) -> RigidBodyState:
+        """Advance the state by ``dt`` under constant ``loads``."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        s = self.state
+        y = self._pack(s)
+
+        def rhs(yv: np.ndarray) -> np.ndarray:
+            pos, vel, q, om = self._unpack(yv)
+            acc = loads.force / self.mass
+            # Euler's equations with diagonal inertia.
+            Ix, Iy, Iz = self.inertia
+            p, q_, r = om
+            dom = np.array(
+                [
+                    (loads.moment[0] - (Iz - Iy) * q_ * r) / Ix,
+                    (loads.moment[1] - (Ix - Iz) * r * p) / Iy,
+                    (loads.moment[2] - (Iy - Ix) * p * q_) / Iz,
+                ]
+            )
+            dq = Quaternion(*q).derivative(om)
+            return np.concatenate([vel, acc, dq, dom])
+
+        k1 = rhs(y)
+        k2 = rhs(y + 0.5 * dt * k1)
+        k3 = rhs(y + 0.5 * dt * k2)
+        k4 = rhs(y + dt * k3)
+        ynew = y + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+        pos, vel, q, om = self._unpack(ynew)
+        self.state = RigidBodyState(
+            pos, vel, Quaternion(*q).normalized(), om
+        )
+        return self.state
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pack(s: RigidBodyState) -> np.ndarray:
+        return np.concatenate(
+            [s.position, s.velocity, s.attitude.q, s.omega_body]
+        )
+
+    @staticmethod
+    def _unpack(y: np.ndarray):
+        return y[0:3], y[3:6], y[6:10], y[10:13]
+
+    def run(
+        self,
+        loads_fn: Callable[[RigidBodyState, float], Loads],
+        dt: float,
+        nsteps: int,
+    ) -> list[RigidBodyState]:
+        """Integrate ``nsteps`` with state/time-dependent loads; returns
+        the trajectory (one state per step)."""
+        t = 0.0
+        out = []
+        for _ in range(nsteps):
+            self.step(loads_fn(self.state, t), dt)
+            t += dt
+            out.append(self.state.copy())
+        return out

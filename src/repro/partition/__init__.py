@@ -1,0 +1,41 @@
+"""Load balancing — the paper's primary contribution.
+
+* :func:`static_balance` — Algorithm 1: distribute processors over
+  component grids proportionally to gridpoint counts using the
+  tolerance-relaxation integer loop, with the paper's perturbation
+  fallback for non-converging partitions.
+* :func:`prime_factor_decompose` — the near-cubic subdomain splitting
+  that minimises subdomain surface area (communication volume).
+* :func:`dynamic_rebalance` — Algorithm 2: measure received-IGBP counts
+  I(p), bump the processor count of grids hosting overloaded processors
+  (f(p) > f0) and re-run the static routine under those constraints.
+* :func:`group_grids` — Algorithm 3: pack many small (Cartesian) grids
+  into connectivity-local, load-balanced groups for the adaptive scheme.
+* :class:`Partition` — the resulting grid→ranks / rank→subdomain maps.
+"""
+
+from repro.partition.static_lb import StaticBalanceResult, static_balance
+from repro.partition.decompose import (
+    prime_factors,
+    prime_factor_decompose,
+    strip_decompose,
+    total_halo_points,
+)
+from repro.partition.assignment import Partition, build_partition
+from repro.partition.dynamic_lb import DynamicRebalancer, dynamic_rebalance
+from repro.partition.grouping import GroupingResult, group_grids
+
+__all__ = [
+    "StaticBalanceResult",
+    "static_balance",
+    "prime_factors",
+    "prime_factor_decompose",
+    "strip_decompose",
+    "total_halo_points",
+    "Partition",
+    "build_partition",
+    "DynamicRebalancer",
+    "dynamic_rebalance",
+    "GroupingResult",
+    "group_grids",
+]

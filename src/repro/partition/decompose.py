@@ -1,0 +1,75 @@
+"""Prime-factor subdomain decomposition (paper section 3.0, Fig. 4).
+
+Once Algorithm 1 fixes np(n) processors for grid n, the grid's index
+space is split into np(n) boxes "as close to cubic as possible": the
+prime factors of np(n) are applied largest-first, each dividing the
+current largest index dimension, which minimises subdomain surface area
+and hence halo communication.
+
+:func:`strip_decompose` (naive 1-D slabs) exists for the ablation bench
+comparing communication volume against the prime-factor scheme.
+"""
+
+from __future__ import annotations
+
+from repro.grids.subdomain import Box, interior_face_points
+
+
+def prime_factors(n: int) -> list[int]:
+    """Prime factorisation in descending order (e.g. 12 -> [3, 2, 2])."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    out = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return sorted(out, reverse=True)
+
+
+def prime_factor_decompose(dims: tuple[int, ...], nparts: int) -> list[Box]:
+    """Split ``dims`` index space into ``nparts`` near-cubic boxes.
+
+    Each prime factor (largest first) splits the currently largest
+    dimension of every box.  When the largest dimension is too short for
+    a factor, the largest *splittable* dimension is used instead; if no
+    dimension can take the factor the grid is too small and we raise.
+    """
+    if nparts < 1:
+        raise ValueError("nparts must be >= 1")
+    boxes = [Box.whole(tuple(dims))]
+    for f in prime_factors(nparts):
+        new: list[Box] = []
+        for b in boxes:
+            axis = _largest_splittable_axis(b, f)
+            new.extend(b.split(axis, f))
+        boxes = new
+    return boxes
+
+
+def _largest_splittable_axis(box: Box, factor: int) -> int:
+    order = sorted(range(box.ndim), key=lambda a: -box.shape[a])
+    for axis in order:
+        if box.shape[axis] >= factor:
+            return axis
+    raise ValueError(
+        f"box of shape {box.shape} cannot be split by factor {factor}"
+    )
+
+
+def strip_decompose(dims: tuple[int, ...], nparts: int) -> list[Box]:
+    """Naive 1-D slab decomposition along the largest dimension
+    (ablation baseline: much larger interior surface area)."""
+    whole = Box.whole(tuple(dims))
+    axis = _largest_splittable_axis(whole, nparts)
+    return whole.split(axis, nparts)
+
+
+def total_halo_points(boxes: list[Box], dims: tuple[int, ...]) -> int:
+    """Total interior-face points over a decomposition — proportional to
+    the per-sweep halo-exchange volume."""
+    return sum(interior_face_points(b, tuple(dims)) for b in boxes)

@@ -1,0 +1,156 @@
+"""Algorithm 2: the dynamic load balance scheme (paper section 3.0).
+
+After a specified number of timesteps the driver measures I(p), the
+number of inter-grid boundary points *received for search* on each
+processor — the donor-search service load.  With Ibar the global
+average, any processor with f(p) = I(p)/Ibar > f0 marks its component
+grid for one extra processor, and the static routine is re-run with
+those counts enforced as minimums.
+
+``f0`` semantics (paper): f0 ~ infinity keeps the static partition (the
+flow solution stays optimal); f0 ~ 1 keeps re-optimising for the
+connectivity solution at the flow solver's expense.  The best value is
+problem dependent (the paper uses f0 = 5 for the store-separation case,
+where the worst observed imbalance was f(p) ~ 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.assignment import Partition, build_partition
+from repro.partition.static_lb import static_balance
+
+
+def dynamic_rebalance(
+    partition: Partition,
+    igbp_received: np.ndarray,
+    f0: float,
+) -> Partition | None:
+    """One application of Algorithm 2.
+
+    Parameters
+    ----------
+    partition:
+        The current (static) partition.
+    igbp_received:
+        I(p): per-rank counts of non-local IGBPs received in search
+        requests since the last check.
+    f0:
+        User load-balance factor.  ``math.inf`` disables rebalancing.
+
+    Returns
+    -------
+    A new :class:`Partition`, or ``None`` when no processor exceeds f0
+    (or rebalancing is impossible, e.g. no processors to spare).
+    """
+    igbp_received = np.asarray(igbp_received, dtype=float)
+    if igbp_received.shape != (partition.nprocs,):
+        raise ValueError(
+            f"I(p) must have one entry per rank "
+            f"({partition.nprocs}), got {igbp_received.shape}"
+        )
+    if math.isinf(f0):
+        return None
+    if f0 <= 0:
+        raise ValueError(f"f0 must be positive, got {f0}")
+    ibar = igbp_received.mean()
+    if ibar == 0:
+        return None
+
+    f = igbp_received / ibar
+    # np(n) condition: +1 processor for every overloaded processor's grid.
+    increments = [0] * partition.ngrids
+    for rank in np.nonzero(f > f0)[0]:
+        increments[partition.grid_of_rank(int(rank))] += 1
+    if not any(increments):
+        return None
+
+    # The np(n) condition is a *minimum* only for flagged grids; grids
+    # without overloaded processors are free to shrink (down to one
+    # processor) so the flagged grids can grow.
+    mins = [
+        base + inc if inc > 0 else 1
+        for base, inc in zip(partition.procs_per_grid, increments)
+    ]
+    # Scale back if the requested minimums exceed the machine.
+    while sum(mins) > partition.nprocs:
+        worst = max(
+            range(len(mins)),
+            key=lambda i: mins[i] - partition.procs_per_grid[i],
+        )
+        if mins[worst] <= 1:
+            return None  # nothing left to trade
+        mins[worst] -= 1
+    if all(
+        m <= base for m, base in zip(mins, partition.procs_per_grid)
+    ):
+        return None  # constraints already satisfied: nothing would change
+
+    gridpoints = [int(np.prod(d)) for d in partition.grid_dims]
+    balance = static_balance(
+        gridpoints,
+        partition.nprocs,
+        min_points_constraints=mins,
+    )
+    return build_partition(
+        list(partition.grid_dims),
+        partition.nprocs,
+        procs_per_grid=list(balance.procs_per_grid),
+    )
+
+
+@dataclass
+class DynamicRebalancer:
+    """Stateful wrapper used by the OVERFLOW-D1 driver.
+
+    Accumulates I(p) between checks; every ``check_interval`` timesteps
+    it applies :func:`dynamic_rebalance` and reports whether the
+    partition changed.
+    """
+
+    f0: float
+    check_interval: int = 5
+    max_rebalances: int = 4  # stop churning once the partition settles
+
+    def __post_init__(self):
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        self._accum: np.ndarray | None = None
+        self._steps = 0
+        self._rebalances = 0
+        self.history: list[tuple[int, tuple[int, ...]]] = []
+
+    def record(self, igbp_received: np.ndarray) -> None:
+        """Accumulate one timestep's I(p)."""
+        arr = np.asarray(igbp_received, dtype=float)
+        if self._accum is None:
+            self._accum = arr.copy()
+        else:
+            if arr.shape != self._accum.shape:
+                # Partition size changed (rebalance happened): restart.
+                self._accum = arr.copy()
+            else:
+                self._accum += arr
+        self._steps += 1
+
+    def maybe_rebalance(self, partition: Partition, step: int) -> Partition | None:
+        """Apply Algorithm 2 if a check is due; returns the new partition
+        or None when nothing changed."""
+        if (
+            math.isinf(self.f0)
+            or self._steps < self.check_interval
+            or self._accum is None
+            or self._rebalances >= self.max_rebalances
+        ):
+            return None
+        new = dynamic_rebalance(partition, self._accum, self.f0)
+        self._accum = None
+        self._steps = 0
+        if new is not None:
+            self._rebalances += 1
+            self.history.append((step, new.procs_per_grid))
+        return new

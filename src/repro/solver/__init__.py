@@ -1,0 +1,51 @@
+"""OVERFLOW-like structured-grid compressible flow solver.
+
+The paper's flow solutions are computed by NASA's OVERFLOW: an implicit
+structured-grid Euler/Navier-Stokes code, second-order in space and
+first-order in time, marched with a diagonalized approximate
+factorization scheme (paper section 2.1).  This subpackage implements a
+2-D counterpart with the same architecture:
+
+* :mod:`state` — conservative variables, gas model, freestream setup;
+* :mod:`flux` — central differencing of the curvilinear inviscid fluxes
+  with JST-style scalar artificial dissipation;
+* :mod:`viscous` — thin-layer viscous fluxes in the wall-normal
+  direction;
+* :mod:`turbulence` — the Baldwin-Lomax algebraic model (the model the
+  paper's store-separation case uses);
+* :mod:`adi` — the factored implicit update: one scalar tridiagonal
+  sweep per index direction, using the spectral radius of the flux
+  Jacobians (the scalar-dissipation simplification of the
+  Pulliam-Chaussee diagonal scheme; see DESIGN.md);
+* :mod:`solver2d` — the per-grid solver: residual, update, boundary
+  conditions, hole (iblank) masking, surface force integration;
+* :mod:`workmodel` — flops/point/step cost model used when the 3-D
+  cases are run on the simulated machine.
+"""
+
+from repro.solver.state import (
+    FlowConfig,
+    GasModel,
+    conservative,
+    conservative3d,
+    primitive,
+    primitive3d,
+)
+from repro.solver.solver2d import Solver2D
+from repro.solver.solver3d import Solver3D
+from repro.solver.parallel2d import ParallelSolver2D
+from repro.solver.workmodel import WorkModel, DEFAULT_WORK_MODEL
+
+__all__ = [
+    "FlowConfig",
+    "GasModel",
+    "conservative",
+    "conservative3d",
+    "primitive",
+    "primitive3d",
+    "Solver2D",
+    "Solver3D",
+    "ParallelSolver2D",
+    "WorkModel",
+    "DEFAULT_WORK_MODEL",
+]

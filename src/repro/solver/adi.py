@@ -1,0 +1,73 @@
+"""Factored implicit update (diagonalized approximate factorization).
+
+OVERFLOW marches with the Pulliam-Chaussee diagonal scheme: the
+Beam-Warming factored operator with the flux Jacobians replaced by
+their eigen-decompositions, yielding scalar tridiagonal (pentadiagonal
+with 4th-order implicit dissipation) solves per direction.  Because we
+run scalar JST dissipation, we use the further classical simplification
+of bounding each eigenvalue by the directional spectral radius — every
+conservative variable then shares one diagonally-dominant tridiagonal
+system per grid line:
+
+    (I + dt/J * delta_xi(lam_xi)) (I + dt/J * delta_eta(lam_eta)) dQ
+        = dt * RHS
+
+The factored solve is unconditionally stable for this operator, keeps
+the cost structure of the real scheme (two batched tridiagonal sweeps
+per step), and — as in the paper — is applied over each processor's
+whole component so convergence is independent of the partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solver.numerics import tridiag_solve
+
+
+def implicit_sweep(rhs: np.ndarray, nu: np.ndarray, axis: int) -> np.ndarray:
+    """One implicit factor: solve (I + delta(nu)) x = rhs along ``axis``.
+
+    ``nu`` is the non-dimensional implicit coefficient dt*lam/J at the
+    nodes; the tridiagonal stencil is [-nu_h(k-1/2), 1 + nu_h(k-1/2) +
+    nu_h(k+1/2), -nu_h(k+1/2)] with interface averages, Dirichlet-style
+    at the ends (boundary rows stay explicit).
+    """
+    if rhs.shape[:-1] != nu.shape:
+        raise ValueError(
+            f"rhs {rhs.shape} inconsistent with nu {nu.shape}"
+        )
+    # Move the sweep axis to position -2 (before the variable axis).
+    work = np.moveaxis(rhs, axis, -2)
+    nu_m = np.moveaxis(nu, axis, -1)
+
+    n = nu_m.shape[-1]
+    nu_half = 0.5 * (nu_m[..., :-1] + nu_m[..., 1:])  # interfaces, n-1
+    lower = np.zeros_like(nu_m)
+    upper = np.zeros_like(nu_m)
+    lower[..., 1:] = -nu_half
+    upper[..., :-1] = -nu_half
+    diag = 1.0 - lower - upper  # 1 + sum of neighbour couplings
+
+    # Batch the 4 conservative variables into the leading dims: systems
+    # run along the last axis for tridiag_solve.
+    d = np.moveaxis(work, -1, 0)  # (4, ..., n)
+    x = tridiag_solve(
+        np.broadcast_to(lower, d.shape),
+        np.broadcast_to(diag, d.shape),
+        np.broadcast_to(upper, d.shape),
+        d,
+    )
+    out = np.moveaxis(x, 0, -1)
+    return np.moveaxis(out, -2, axis)
+
+
+def factored_update(
+    rhs: np.ndarray,
+    nu_xi: np.ndarray,
+    nu_eta: np.ndarray,
+) -> np.ndarray:
+    """Apply both factors: xi sweep then eta sweep; returns dQ."""
+    dq = implicit_sweep(rhs, nu_xi, axis=0)
+    dq = implicit_sweep(dq, nu_eta, axis=1)
+    return dq

@@ -1,0 +1,135 @@
+"""Physical boundary conditions for the component-grid solver.
+
+Intergrid (overset) boundaries are not applied here: the OVERFLOW-D1
+driver injects interpolated donor values through
+:meth:`repro.solver.solver2d.Solver2D.set_fringe`.  This module handles
+the physical kinds: solid wall, farfield, and the O-grid periodic seam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solver.state import conservative, primitive
+
+
+def apply_wall(
+    q: np.ndarray,
+    face: str,
+    viscous: bool,
+    gamma: float,
+    normals: np.ndarray | None = None,
+) -> None:
+    """Solid wall on a j face, in place.
+
+    Viscous grids get no-slip (zero velocity); inviscid grids get a slip
+    (tangency) wall by projecting out the wall-normal velocity
+    component, which requires the unit wall ``normals`` of shape
+    (ni, 2).  Density and pressure are first-order extrapolated from the
+    interior (zero normal gradient).
+    """
+    if face not in ("jmin", "jmax"):
+        raise ValueError(f"wall supported on j faces only, got {face}")
+    wall = 0 if face == "jmin" else -1
+    interior = 1 if face == "jmin" else -2
+    rho_i, u_i, v_i, p_i = primitive(q[:, interior], gamma)
+    if viscous:
+        u_w = np.zeros_like(u_i)
+        v_w = np.zeros_like(v_i)
+    else:
+        if normals is None:
+            raise ValueError("inviscid slip wall needs wall normals")
+        vn = u_i * normals[:, 0] + v_i * normals[:, 1]
+        u_w = u_i - vn * normals[:, 0]
+        v_w = v_i - vn * normals[:, 1]
+    q[:, wall] = conservative(rho_i, u_w, v_w, p_i, gamma)
+
+
+def wall_normals(xyz: np.ndarray, face: str) -> np.ndarray:
+    """Unit surface normals of a j-face wall, shape (ni, 2), oriented
+    into the fluid.
+
+    The normal is perpendicular to the wall tangent (central-differenced
+    along i), signed so it points toward the first off-wall grid line.
+    """
+    if face == "jmin":
+        wall = xyz[:, 0]
+        off = xyz[:, 1]
+    elif face == "jmax":
+        wall = xyz[:, -1]
+        off = xyz[:, -2]
+    else:
+        raise ValueError(f"wall supported on j faces only, got {face}")
+    tangent = np.empty_like(wall)
+    tangent[1:-1] = wall[2:] - wall[:-2]
+    tangent[0] = wall[1] - wall[0]
+    tangent[-1] = wall[-1] - wall[-2]
+    n = np.stack([tangent[:, 1], -tangent[:, 0]], axis=-1)
+    # Orient toward the fluid side.
+    sign = np.sign(np.einsum("ij,ij->i", n, off - wall))
+    n *= np.where(sign == 0, 1.0, sign)[:, None]
+    norm = np.linalg.norm(n, axis=-1, keepdims=True)
+    return n / np.maximum(norm, 1e-300)
+
+
+_FACE_AXIS = {"i": 0, "j": 1, "k": 2}
+
+
+def face_slicer(face: str, ndim: int, pos: int | None = None):
+    """Indexing tuple selecting one logical face of an (ndim+1)-D state
+    array; ``pos`` overrides the layer (default: the face itself)."""
+    try:
+        axis = _FACE_AXIS[face[0]]
+    except (KeyError, IndexError):
+        raise ValueError(f"unknown face {face}")
+    if axis >= ndim or not (face.endswith("min") or face.endswith("max")):
+        raise ValueError(f"unknown face {face}")
+    if pos is None:
+        pos = 0 if face.endswith("min") else -1
+    sl: list = [slice(None)] * ndim
+    sl[axis] = pos
+    return tuple(sl)
+
+
+def apply_farfield(q: np.ndarray, face: str, qinf: np.ndarray) -> None:
+    """Freestream Dirichlet condition on one face (2-D or 3-D state
+    arrays).  In place.
+
+    The paper's background grids extend several chords from the body;
+    fixing freestream there is the standard simple treatment.
+    """
+    q[face_slicer(face, q.ndim - 1)] = qinf
+
+
+def apply_periodic_seam(q: np.ndarray, axis: int = 0) -> None:
+    """O-grid seam: the first and last layers along ``axis`` are the
+    same physical points; keep them identical (average enforces
+    symmetry).  In place."""
+    work = np.moveaxis(q, axis, 0)
+    avg = 0.5 * (work[0] + work[-1])
+    work[0] = avg
+    work[-1] = avg
+
+
+def wrap_periodic(arr: np.ndarray, ghosts: int = 2, axis: int = 0) -> np.ndarray:
+    """Pad a periodic node array with wrap ghosts along ``axis``.
+
+    The seam point is stored twice (layer 0 == layer n-1, period
+    P = n-1), so the left ghosts replicate layers P-ghosts .. P-1 and
+    the right ghosts replicate layers 1 .. ghosts.
+    """
+    if arr.shape[axis] < ghosts + 2:
+        raise ValueError("array too short to wrap")
+    work = np.moveaxis(arr, axis, 0)
+    p = work.shape[0] - 1
+    left = work[p - ghosts : p]
+    right = work[1 : 1 + ghosts]
+    out = np.concatenate([left, work, right], axis=0)
+    return np.ascontiguousarray(np.moveaxis(out, 0, axis))
+
+
+def unwrap_periodic(arr: np.ndarray, ghosts: int = 2, axis: int = 0) -> np.ndarray:
+    """Inverse of :func:`wrap_periodic` (drops the ghost layers)."""
+    sl: list = [slice(None)] * arr.ndim
+    sl[axis] = slice(ghosts, -ghosts)
+    return arr[tuple(sl)]

@@ -1,0 +1,128 @@
+"""Conservative flow state and the perfect-gas model.
+
+State arrays are node-centered with shape (ni, nj, 4) holding
+Q = [rho, rho*u, rho*v, e] nondimensionalised by freestream density and
+sound speed (the OVERFLOW convention): rho_inf = 1, c_inf = 1, so the
+freestream speed is the Mach number and freestream pressure is 1/gamma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GasModel:
+    """Calorically perfect gas."""
+
+    gamma: float = 1.4
+    prandtl: float = 0.72
+
+    def pressure(self, q: np.ndarray) -> np.ndarray:
+        """Static pressure from conservative variables."""
+        rho = q[..., 0]
+        ke = 0.5 * (q[..., 1] ** 2 + q[..., 2] ** 2) / rho
+        return (self.gamma - 1.0) * (q[..., 3] - ke)
+
+    def sound_speed(self, q: np.ndarray) -> np.ndarray:
+        return np.sqrt(self.gamma * self.pressure(q) / q[..., 0])
+
+    def temperature(self, q: np.ndarray) -> np.ndarray:
+        """T ~ gamma * p / rho with the c_inf nondimensionalisation
+        (freestream T = 1)."""
+        return self.gamma * self.pressure(q) / q[..., 0]
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Freestream and integration settings for one case.
+
+    ``mach``/``alpha`` set the freestream; ``reynolds`` is per unit
+    chord (ignored for inviscid grids); ``cfl`` sizes the implicit
+    timestep; dissipation coefficients follow JST conventions.
+    """
+
+    mach: float = 0.8
+    alpha: float = 0.0          # angle of attack, radians
+    reynolds: float = 1.0e6
+    gas: GasModel = GasModel()
+    cfl: float = 5.0
+    k2: float = 0.5             # 2nd-difference (shock) dissipation
+    k4: float = 0.016           # 4th-difference (background) dissipation
+
+    def freestream(self) -> np.ndarray:
+        """Freestream conservative state (rho_inf=1, c_inf=1)."""
+        g = self.gas.gamma
+        rho = 1.0
+        u = self.mach * np.cos(self.alpha)
+        v = self.mach * np.sin(self.alpha)
+        p = 1.0 / g
+        e = p / (g - 1.0) + 0.5 * rho * (u * u + v * v)
+        return np.array([rho, rho * u, rho * v, e])
+
+    def freestream3d(self) -> np.ndarray:
+        """3-D freestream: alpha pitches the velocity in the x-y plane."""
+        g = self.gas.gamma
+        u = self.mach * np.cos(self.alpha)
+        v = self.mach * np.sin(self.alpha)
+        p = 1.0 / g
+        e = p / (g - 1.0) + 0.5 * (u * u + v * v)
+        return np.array([1.0, u, v, 0.0, e])
+
+
+def conservative(rho, u, v, p, gamma: float = 1.4) -> np.ndarray:
+    """Pack primitives into Q; broadcasts over array inputs."""
+    rho, u, v, p = np.broadcast_arrays(
+        np.asarray(rho, float), np.asarray(u, float),
+        np.asarray(v, float), np.asarray(p, float),
+    )
+    e = p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v)
+    return np.stack([rho, rho * u, rho * v, e], axis=-1)
+
+
+def primitive(q: np.ndarray, gamma: float = 1.4):
+    """Unpack Q into (rho, u, v, p)."""
+    rho = q[..., 0]
+    u = q[..., 1] / rho
+    v = q[..., 2] / rho
+    p = (gamma - 1.0) * (q[..., 3] - 0.5 * rho * (u * u + v * v))
+    return rho, u, v, p
+
+
+def conservative3d(rho, u, v, w, p, gamma: float = 1.4) -> np.ndarray:
+    """Pack 3-D primitives into Q = [rho, rho u, rho v, rho w, e]."""
+    rho, u, v, w, p = np.broadcast_arrays(
+        np.asarray(rho, float), np.asarray(u, float), np.asarray(v, float),
+        np.asarray(w, float), np.asarray(p, float),
+    )
+    e = p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v + w * w)
+    return np.stack([rho, rho * u, rho * v, rho * w, e], axis=-1)
+
+
+def primitive3d(q: np.ndarray, gamma: float = 1.4):
+    """Unpack 3-D Q into (rho, u, v, w, p)."""
+    rho = q[..., 0]
+    u = q[..., 1] / rho
+    v = q[..., 2] / rho
+    w = q[..., 3] / rho
+    ke = 0.5 * rho * (u * u + v * v + w * w)
+    p = (gamma - 1.0) * (q[..., 4] - ke)
+    return rho, u, v, w, p
+
+
+def sanity_check(q: np.ndarray, gamma: float = 1.4, where: str = "") -> None:
+    """Raise ``FloatingPointError`` on non-physical states — a solver
+    divergence should fail loudly, not propagate NaNs.  Handles both
+    the 2-D (4-variable) and 3-D (5-variable) state layouts."""
+    if not np.all(np.isfinite(q)):
+        raise FloatingPointError(f"non-finite state {where}")
+    if q.shape[-1] == 5:
+        rho, _, _, _, p = primitive3d(q, gamma)
+    else:
+        rho, _, _, p = primitive(q, gamma)
+    if rho.min() <= 0.0:
+        raise FloatingPointError(f"non-positive density {where}")
+    if p.min() <= 0.0:
+        raise FloatingPointError(f"non-positive pressure {where}")

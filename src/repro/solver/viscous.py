@@ -1,0 +1,72 @@
+"""Thin-layer viscous fluxes.
+
+Body-fitted grids cluster tightly in the wall-normal (eta) direction,
+where viscous gradients dominate; the thin-layer approximation keeps
+only eta-derivatives in the shear terms — the standard OVERFLOW-era
+treatment.  The viscous flux at the j+1/2 interface is
+
+    S = mu_total * phi * [0, du, dv, u*du + v*dv + kappa * d(c^2)]
+
+with phi = (eta_x^2 + eta_y^2) * J the grid factor, mu_total the sum of
+laminar and eddy viscosity, and kappa = 1/(Pr (gamma-1)) the conduction
+coefficient; the viscous residual is the eta-difference of S.
+
+Nondimensionalisation: with rho_inf = c_inf = 1 and Reynolds number
+based on the freestream speed (M * c_inf), the laminar viscosity is
+mu = M / Re.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.gridmetrics import Metrics2D
+from repro.solver.state import primitive
+
+
+def laminar_viscosity(mach: float, reynolds: float) -> float:
+    """Constant nondimensional laminar viscosity mu = M / Re."""
+    if reynolds <= 0:
+        raise ValueError(f"Reynolds number must be positive, got {reynolds}")
+    return mach / reynolds
+
+
+def viscous_residual(
+    q: np.ndarray,
+    m: Metrics2D,
+    gamma: float,
+    prandtl: float,
+    mu_laminar: float,
+    mu_turbulent: np.ndarray | None = None,
+) -> np.ndarray:
+    """Thin-layer viscous contribution V (so dQ/dt = (-R + V) / J).
+
+    ``mu_turbulent`` is a node field of eddy viscosity (from
+    Baldwin-Lomax) or None for laminar flow.
+    """
+    rho, u, v, p = primitive(q, gamma)
+    c2 = gamma * p / rho  # squared sound speed ~ temperature
+    mu = np.full_like(rho, mu_laminar)
+    if mu_turbulent is not None:
+        mu = mu + mu_turbulent
+    phi = (m.eta_x**2 + m.eta_y**2) * m.jac
+    kappa = 1.0 / (prandtl * (gamma - 1.0))
+
+    # Interface (j+1/2) quantities.
+    mu_h = 0.5 * (mu[:, :-1] + mu[:, 1:])
+    phi_h = 0.5 * (phi[:, :-1] + phi[:, 1:])
+    du = u[:, 1:] - u[:, :-1]
+    dv = v[:, 1:] - v[:, :-1]
+    dc2 = c2[:, 1:] - c2[:, :-1]
+    u_h = 0.5 * (u[:, :-1] + u[:, 1:])
+    v_h = 0.5 * (v[:, :-1] + v[:, 1:])
+
+    coef = mu_h * phi_h
+    s = np.zeros(q.shape[:-1] + (4,), dtype=float)[:, :-1]
+    s[..., 1] = coef * du
+    s[..., 2] = coef * dv
+    s[..., 3] = coef * (u_h * du + v_h * dv + kappa * dc2)
+
+    out = np.zeros_like(q)
+    out[:, 1:-1] = s[:, 1:] - s[:, :-1]
+    return out

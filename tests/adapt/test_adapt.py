@@ -1,0 +1,226 @@
+"""Tests for the adaptive off-body Cartesian scheme (section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import (
+    AdaptiveSystem,
+    Brick,
+    cartesian_connectivity,
+    gradient_flags,
+    initial_off_body_system,
+    proximity_flags,
+    refine_bricks,
+)
+from repro.adapt.refine import BrickSystem, coarsen_bricks
+from repro.grids.bbox import AABB
+
+
+def domain2d():
+    return AABB((0.0, 0.0), (4.0, 4.0))
+
+
+class TestBrick:
+    def test_children_cover_parent(self):
+        b = Brick(0, (1, 2))
+        kids = b.children()
+        assert len(kids) == 4
+        assert all(k.level == 1 for k in kids)
+        assert all(k.parent() == b for k in kids)
+
+    def test_3d_children(self):
+        assert len(Brick(0, (0, 0, 0)).children()) == 8
+
+    def test_level0_has_no_parent(self):
+        with pytest.raises(ValueError):
+            Brick(0, (0, 0)).parent()
+
+    def test_siblings(self):
+        b = Brick(1, (0, 0))
+        assert len(b.siblings()) == 4
+        assert b in b.siblings()
+
+
+class TestBrickSystem:
+    def test_initial_tiling_covers_domain(self):
+        system, bricks = initial_off_body_system(domain2d(), 1.0)
+        assert len(bricks) == 16
+        union = system.box(bricks[0])
+        for b in bricks[1:]:
+            union = union.union(system.box(b))
+        assert union == domain2d()
+
+    def test_spacing_halves_per_level(self):
+        system, _ = initial_off_body_system(domain2d(), 1.0,
+                                            points_per_brick=5)
+        assert system.spacing(1) == pytest.approx(system.spacing(0) / 2)
+
+    def test_brick_grid_has_seven_params_3d(self):
+        system, bricks = initial_off_body_system(
+            AABB((0, 0, 0), (2, 2, 2)), 1.0
+        )
+        g = system.grid(bricks[0])
+        assert g.nparams == 7
+
+    def test_child_boxes_tile_parent(self):
+        system, _ = initial_off_body_system(domain2d(), 1.0)
+        b = Brick(0, (2, 3))
+        parent_box = system.box(b)
+        total = sum(system.box(k).volume() for k in b.children())
+        assert total == pytest.approx(parent_box.volume())
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            initial_off_body_system(domain2d(), 0.0)
+
+
+class TestRefineCoarsen:
+    def test_refine_replaces_with_children(self):
+        system, bricks = initial_off_body_system(domain2d(), 1.0)
+        target = bricks[0]
+        out = refine_bricks(bricks, {target: True}, max_level=3)
+        assert len(out) == len(bricks) - 1 + 4
+        assert target not in out
+
+    def test_max_level_respected(self):
+        system, bricks = initial_off_body_system(domain2d(), 1.0)
+        out = refine_bricks(bricks, {bricks[0]: True}, max_level=0)
+        assert out == sorted(bricks, key=lambda b: (b.level, b.ijk))
+
+    def test_coarsen_merges_complete_siblings(self):
+        b = Brick(0, (0, 0))
+        leaves = b.children()
+        out = coarsen_bricks(leaves, {})
+        assert out == [b]
+
+    def test_coarsen_keeps_flagged(self):
+        b = Brick(0, (0, 0))
+        leaves = b.children()
+        out = coarsen_bricks(leaves, {leaves[0]: True})
+        assert b not in out
+        assert len(out) == 4
+
+    def test_coarsen_requires_all_siblings_present(self):
+        b = Brick(0, (0, 0))
+        leaves = b.children()[:3]  # one missing
+        out = coarsen_bricks(leaves, {})
+        assert b not in out
+
+
+class TestCriteria:
+    def test_proximity_flags_near_body(self):
+        system, bricks = initial_off_body_system(domain2d(), 1.0)
+        body = AABB((1.1, 1.1), (1.4, 1.4))
+        flags = proximity_flags(system, bricks, [body])
+        assert flags[Brick(0, (1, 1))]
+        assert not flags[Brick(0, (3, 3))]
+
+    def test_proximity_margin_extends(self):
+        system, bricks = initial_off_body_system(domain2d(), 1.0)
+        body = AABB((1.1, 1.1), (1.4, 1.4))
+        flags = proximity_flags(system, bricks, [body], margin=1.0)
+        assert flags[Brick(0, (2, 2))]
+
+    def test_gradient_flags(self):
+        system, bricks = initial_off_body_system(domain2d(), 1.0)
+
+        def field(pts):
+            # Sharp feature near x = 2.5.
+            return np.tanh(20 * (pts[:, 0] - 2.5))
+
+        flags = gradient_flags(system, bricks, field, threshold=0.5)
+        assert flags[Brick(0, (2, 0))]
+        assert not flags[Brick(0, (0, 0))]
+
+    def test_gradient_threshold_validation(self):
+        system, bricks = initial_off_body_system(domain2d(), 1.0)
+        with pytest.raises(ValueError):
+            gradient_flags(system, bricks, lambda p: p[:, 0], threshold=0.0)
+
+
+class TestAdaptiveSystem:
+    def test_adapt_refines_toward_body(self):
+        sys = AdaptiveSystem(domain2d(), 1.0, max_level=2,
+                             points_per_brick=5)
+        n0 = len(sys.bricks)
+        body = AABB((1.2, 1.2), (1.3, 1.3))
+        stats = sys.adapt([body])
+        assert stats.nbricks > n0
+        assert stats.max_level >= 1
+
+    def test_adapt_follows_moving_body(self):
+        """Paper: 'automatically repartitioned during adaption in
+        response to body motion' — refinement follows the body and
+        coarsens behind it."""
+        sys = AdaptiveSystem(domain2d(), 1.0, max_level=2,
+                             points_per_brick=5)
+        for _ in range(3):
+            sys.adapt([AABB((0.4, 0.4), (0.6, 0.6))])
+        fine_near_origin = [
+            b for b in sys.bricks
+            if b.level > 0 and sys.system.box(b).lo[0] < 1.0
+        ]
+        assert fine_near_origin
+        # Move the body to the far corner and adapt until settled.
+        for _ in range(4):
+            sys.adapt([AABB((3.4, 3.4), (3.6, 3.6))])
+        fine_near_origin = [
+            b for b in sys.bricks
+            if b.level > 1 and sys.system.box(b).hi[0] < 1.0
+        ]
+        fine_near_corner = [
+            b for b in sys.bricks
+            if b.level > 0 and sys.system.box(b).lo[0] > 2.9
+        ]
+        assert fine_near_corner
+        assert not fine_near_origin
+
+    def test_grouping_balances_work(self):
+        sys = AdaptiveSystem(domain2d(), 1.0, max_level=2,
+                             points_per_brick=5)
+        sys.adapt([AABB((1.2, 1.2), (1.3, 1.3))])
+        grouping = sys.group(4)
+        assert grouping.ngroups == 4
+        assert grouping.imbalance() < 2.0
+
+    def test_parameters_stored_tiny(self):
+        """The storage argument of section 5: the whole off-body system
+        is described by a handful of scalars per brick."""
+        sys = AdaptiveSystem(domain2d(), 1.0, max_level=1,
+                             points_per_brick=9)
+        sys.adapt([AABB((1.2, 1.2), (1.3, 1.3))])
+        assert sys.parameters_stored() == len(sys.bricks) * 5  # 2-D: 5
+        assert sys.parameters_stored() < sys.total_points()
+
+    def test_history_recorded(self):
+        sys = AdaptiveSystem(domain2d(), 1.0, max_level=1,
+                             points_per_brick=5)
+        sys.adapt([AABB((0.2, 0.2), (0.4, 0.4))])
+        sys.adapt([AABB((0.2, 0.2), (0.4, 0.4))])
+        assert len(sys.history) == 2
+
+    def test_invalid_max_level(self):
+        with pytest.raises(ValueError):
+            AdaptiveSystem(domain2d(), 1.0, max_level=-1)
+
+
+class TestCartesianConnectivity:
+    def test_no_searches_needed(self):
+        """Section 5: donors in Cartesian components need no stencil
+        walk — every resolved fringe point is a search avoided."""
+        sys = AdaptiveSystem(domain2d(), 1.0, max_level=2,
+                             points_per_brick=5)
+        sys.adapt([AABB((1.2, 1.2), (1.3, 1.3))])
+        out = cartesian_connectivity(sys.system, sys.bricks)
+        assert out["fringe_points"] > 0
+        assert out["donors_resolved"] > 0
+        assert out["searches_avoided"] == out["donors_resolved"]
+
+    def test_interior_fringe_fully_resolved(self):
+        """Bricks away from the domain boundary find all donors among
+        their neighbours."""
+        system, bricks = initial_off_body_system(domain2d(), 1.0,
+                                                 points_per_brick=5)
+        out = cartesian_connectivity(system, bricks)
+        # Domain-boundary faces have no donors; interior shares do.
+        assert 0 < out["donors_resolved"] < out["fringe_points"]

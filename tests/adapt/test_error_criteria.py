@@ -1,0 +1,70 @@
+"""Focused tests for the refinement criteria."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import gradient_flags, initial_off_body_system, proximity_flags
+from repro.adapt.refine import Brick
+from repro.grids.bbox import AABB
+
+
+@pytest.fixture
+def system_bricks():
+    return initial_off_body_system(AABB((0.0, 0.0), (4.0, 4.0)), 1.0)
+
+
+class TestProximity:
+    def test_multiple_bodies_union(self, system_bricks):
+        system, bricks = system_bricks
+        flags = proximity_flags(
+            system, bricks,
+            [AABB((0.2, 0.2), (0.4, 0.4)), AABB((3.2, 3.2), (3.4, 3.4))],
+        )
+        assert flags[Brick(0, (0, 0))]
+        assert flags[Brick(0, (3, 3))]
+        assert not flags[Brick(0, (1, 3))]
+
+    def test_no_bodies_no_flags(self, system_bricks):
+        system, bricks = system_bricks
+        flags = proximity_flags(system, bricks, [])
+        assert not any(flags.values())
+
+    def test_touching_box_counts(self, system_bricks):
+        """A body exactly on a brick face flags both neighbours."""
+        system, bricks = system_bricks
+        flags = proximity_flags(
+            system, bricks, [AABB((1.0, 0.5), (1.0, 0.6))]
+        )
+        assert flags[Brick(0, (0, 0))]
+        assert flags[Brick(0, (1, 0))]
+
+
+class TestGradient:
+    def test_linear_field_uniform_indicator(self, system_bricks):
+        """A linear field has constant slope: either all bricks flag or
+        none, depending only on the threshold."""
+        system, bricks = system_bricks
+
+        def field(pts):
+            return 2.0 * pts[:, 0]
+
+        low = gradient_flags(system, bricks, field, threshold=1.0)
+        high = gradient_flags(system, bricks, field, threshold=10.0)
+        assert all(low.values())
+        assert not any(high.values())
+
+    def test_sampling_resolution(self, system_bricks):
+        """A feature thinner than the sample spacing can be missed at 3
+        samples but caught at 9 — documents the sampling tradeoff."""
+        system, bricks = system_bricks
+
+        def spike(pts):
+            return np.exp(-((pts[:, 0] - 0.27) ** 2) / 1e-2)
+
+        coarse = gradient_flags(system, bricks, spike, threshold=0.5,
+                                samples_per_edge=3)
+        fine = gradient_flags(system, bricks, spike, threshold=0.5,
+                              samples_per_edge=9)
+        target = Brick(0, (0, 0))
+        assert fine[target]
+        assert sum(fine.values()) >= sum(coarse.values())

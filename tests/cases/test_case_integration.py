@@ -1,0 +1,60 @@
+"""Cross-cutting integration tests: every case runs end-to-end on the
+performance driver and reports sane statistics."""
+
+import math
+
+import pytest
+
+from repro.cases import airfoil_case, deltawing_case, store_case
+from repro.core import OverflowD1
+from repro.core.overflow_d1 import PHASE_DCF, PHASE_FLOW, PHASE_MOTION
+from repro.machine import sp, sp2
+
+CASES = [
+    ("airfoil", airfoil_case, 6, 0.05),
+    ("deltawing", deltawing_case, 7, 0.02),
+    ("store", store_case, 16, 0.02),
+]
+
+
+@pytest.mark.parametrize("name,builder,nodes,scale", CASES)
+class TestEveryCaseRuns:
+    def test_runs_and_accounts(self, name, builder, nodes, scale):
+        cfg = builder(machine=sp2(nodes=nodes), scale=scale, nsteps=2)
+        r = OverflowD1(cfg).run()
+        assert r.elapsed > 0
+        assert 0 < r.pct_dcf3d < 100
+        assert r.mflops_per_node > 0
+        # All three phases of the paper's loop show up.
+        for phase in (PHASE_FLOW, PHASE_MOTION, PHASE_DCF):
+            assert r.phase_total(phase) > 0, phase
+
+    def test_flow_dominates(self, name, builder, nodes, scale):
+        """Paper: the flow solver is >= two-thirds of the total for the
+        problems tested at their base partitions."""
+        cfg = builder(machine=sp2(nodes=nodes), scale=scale, nsteps=2)
+        r = OverflowD1(cfg).run()
+        total = sum(
+            r.phase_total(p) for p in (PHASE_FLOW, PHASE_MOTION, PHASE_DCF)
+        )
+        assert r.phase_total(PHASE_FLOW) / total > 0.5
+
+    def test_sp_beats_sp2(self, name, builder, nodes, scale):
+        t2 = OverflowD1(
+            builder(machine=sp2(nodes=nodes), scale=scale, nsteps=2)
+        ).run().time_per_step
+        tp = OverflowD1(
+            builder(machine=sp(nodes=nodes), scale=scale, nsteps=2)
+        ).run().time_per_step
+        assert tp < t2
+
+
+class TestCaseOrdering:
+    def test_dcf_share_ordering_matches_paper(self):
+        """At base partitions the connectivity share orders like the
+        IGBP ratios: delta wing < airfoil ~ store (paper: 9, 10, 17%)."""
+        shares = {}
+        for name, builder, nodes, scale in CASES:
+            cfg = builder(machine=sp2(nodes=nodes), scale=scale, nsteps=2)
+            shares[name] = OverflowD1(cfg).run().pct_dcf3d
+        assert shares["deltawing"] < shares["store"] * 1.5

@@ -1,0 +1,111 @@
+"""Property-based tests: the distributed donor search equals the serial
+search for arbitrary partitions of a two-grid overset system."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.connectivity import (
+    DcfConfig,
+    dcf_rank_program,
+    donor_search,
+    find_igbps,
+)
+from repro.connectivity.dcf import DcfWorld
+from repro.grids.generators import annulus_grid, cartesian_background
+from repro.machine import MachineSpec, NetworkSpec, NodeSpec, Simulator
+from repro.partition import build_partition
+
+
+def run_distributed(grids, nprocs, procs_per_grid=None):
+    part = build_partition(
+        [g.dims for g in grids], nprocs, procs_per_grid=procs_per_grid
+    )
+    world = DcfWorld(
+        grid_xyz=[g.xyz for g in grids],
+        grid_of_rank=[part.grid_of_rank(r) for r in range(nprocs)],
+        rank_boxes=[part.subdomain_of(r).box for r in range(nprocs)],
+        ranks_of_grid={gi: part.ranks_of_grid(gi) for gi in range(len(grids))},
+        config=DcfConfig(search_lists={0: [1], 1: [0]}),
+    )
+    igbp_sets = [find_igbps(g, i) for i, g in enumerate(grids)]
+
+    def program(comm):
+        rank = comm.rank
+        gi = world.grid_of_rank[rank]
+        box = world.rank_boxes[rank]
+        s = igbp_sets[gi]
+        multi = np.stack(
+            np.unravel_index(s.flat_indices, grids[gi].dims), axis=-1
+        )
+        mine = np.all((multi >= box.lo) & (multi < box.hi), axis=1)
+        out = yield from dcf_rank_program(
+            comm, world, s.flat_indices[mine], s.points[mine], None
+        )
+        return (s.flat_indices[mine], *out)
+
+    machine = MachineSpec(
+        "t", nprocs, NodeSpec(50e6), NetworkSpec(5e-5, 50e6)
+    )
+    sim = Simulator(machine)
+    sim.spawn_all(program)
+    result = sim.run()
+    got = {}
+    for rank, (flat, assign, stats) in enumerate(result.returns):
+        g = part.grid_of_rank(rank)
+        for k, fi in enumerate(flat):
+            got.setdefault(g, {})[int(fi)] = (
+                bool(assign["found"][k]),
+                assign["cells"][k] + assign["fracs"][k],
+            )
+    return got, igbp_sets
+
+
+@pytest.fixture(scope="module")
+def grids():
+    mid = annulus_grid("mid", ni=25, nj=9, r_inner=1.0, r_outer=2.2,
+                       center=(0.0, 0.0))
+    bg = cartesian_background("bg", (-3, -3), (3, 3), (17, 17))
+    return [mid, bg]
+
+
+@pytest.fixture(scope="module")
+def serial_reference(grids):
+    ref = {}
+    for receiver, donor in ((0, 1), (1, 0)):
+        s = find_igbps(grids[receiver], receiver)
+        res = donor_search(grids[donor].xyz, s.points)
+        ref[receiver] = {
+            int(fi): (bool(res.found[k]), res.cells[k] + res.fracs[k])
+            for k, fi in enumerate(s.flat_indices)
+        }
+    return ref
+
+
+class TestDistributedEqualsSerial:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=5))
+    def test_any_partition_matches_serial(
+        self, grids, serial_reference, p0, p1
+    ):
+        got, igbp_sets = run_distributed(
+            grids, p0 + p1, procs_per_grid=[p0, p1]
+        )
+        for receiver in (0, 1):
+            want = serial_reference[receiver]
+            for fi, (found, loc) in got.get(receiver, {}).items():
+                w_found, w_loc = want[fi]
+                assert found == w_found, (receiver, fi)
+                if found:
+                    assert np.allclose(loc, w_loc, atol=1e-6)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=2, max_value=9))
+    def test_every_igbp_gets_exactly_one_answer(self, grids, nprocs):
+        got, igbp_sets = run_distributed(grids, nprocs)
+        for receiver in (0, 1):
+            answered = set(got.get(receiver, {}))
+            expected = set(int(f) for f in igbp_sets[receiver].flat_indices)
+            assert answered == expected

@@ -1,0 +1,171 @@
+"""Tests for the stencil-walk donor search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.connectivity.donorsearch import donor_search
+from repro.connectivity.interpolation import interpolate
+from repro.grids.generators import (
+    airfoil_ogrid,
+    annulus_grid,
+    cartesian_background,
+)
+
+
+def uniform_xyz(ni=11, nj=9, dx=1.0, dy=1.0):
+    return cartesian_background("bg", (0, 0), (dx * (ni - 1), dy * (nj - 1)),
+                                (ni, nj)).xyz
+
+
+class TestUniformGrid:
+    def test_exact_cells_and_fracs(self):
+        xyz = uniform_xyz()
+        pts = np.array([[2.5, 3.25], [0.1, 0.9], [9.99, 7.99]])
+        r = donor_search(xyz, pts)
+        assert r.found.all()
+        assert r.cells[0].tolist() == [2, 3]
+        assert np.allclose(r.fracs[0], [0.5, 0.25])
+
+    def test_reconstruction(self):
+        xyz = uniform_xyz()
+        rng = np.random.default_rng(0)
+        pts = rng.uniform([0, 0], [10, 8], size=(200, 2))
+        r = donor_search(xyz, pts)
+        assert r.found.all()
+        recon = r.cells + r.fracs
+        assert np.allclose(recon, pts, atol=1e-8)
+
+    def test_outside_points_not_found(self):
+        xyz = uniform_xyz()
+        pts = np.array([[-1.0, 4.0], [11.0, 4.0], [5.0, -2.0]])
+        r = donor_search(xyz, pts)
+        assert not r.found.any()
+
+    def test_mixed_inside_outside(self):
+        xyz = uniform_xyz()
+        pts = np.array([[5.0, 4.0], [50.0, 4.0]])
+        r = donor_search(xyz, pts)
+        assert r.found.tolist() == [True, False]
+
+
+class TestWarmStart:
+    def test_good_guess_converges_in_one_step(self):
+        xyz = uniform_xyz()
+        pts = np.array([[7.3, 2.6]])
+        cold = donor_search(xyz, pts)
+        warm = donor_search(xyz, pts, guesses=np.array([[7, 2]]))
+        assert warm.found.all()
+        assert warm.steps[0] == 1
+        assert warm.steps[0] <= cold.steps[0]
+
+    def test_nearby_guess_cheaper_than_cold(self):
+        """The nth-level-restart effect: donors moved by ~1 cell cost
+        far fewer walk steps than searches from scratch."""
+        xyz = uniform_xyz(41, 41)
+        rng = np.random.default_rng(1)
+        pts = rng.uniform([1, 1], [39, 39], size=(100, 2))
+        cold = donor_search(xyz, pts)
+        nearby = cold.cells + rng.integers(-1, 2, size=cold.cells.shape)
+        warm = donor_search(xyz, pts, guesses=nearby)
+        assert warm.found.all()
+        assert warm.total_steps < 0.5 * cold.total_steps
+
+    def test_out_of_range_guess_clipped(self):
+        xyz = uniform_xyz()
+        r = donor_search(xyz, np.array([[5.0, 4.0]]),
+                         guesses=np.array([[999, -999]]))
+        assert r.found.all()
+
+
+class TestCurvilinear:
+    def test_annulus_reconstruction(self):
+        g = annulus_grid("mid", ni=81, nj=21, r_inner=1.0, r_outer=3.0,
+                         center=(0.0, 0.0))
+        rng = np.random.default_rng(2)
+        theta = rng.uniform(0.1, 2 * np.pi - 0.1, 50)
+        rad = rng.uniform(1.1, 2.9, 50)
+        pts = np.stack([rad * np.cos(theta), rad * np.sin(theta)], axis=-1)
+        r = donor_search(g.xyz, pts)
+        assert r.found.all()
+        recon = interpolate(g.xyz, r.cells, r.fracs)
+        assert np.allclose(recon, pts, atol=2e-3)  # bilinear on curved cells
+
+    def test_airfoil_ogrid_finds_field_points(self):
+        g = airfoil_ogrid("near", ni=121, nj=31, radius=2.0)
+        pts = np.array([[1.5, 0.3], [0.5, -0.8], [-0.5, 0.2]])
+        r = donor_search(g.xyz, pts)
+        assert r.found.all()
+
+    def test_point_inside_airfoil_body_not_found(self):
+        """The airfoil interior is outside the O-grid's mapped region."""
+        g = airfoil_ogrid("near", ni=121, nj=31, radius=2.0)
+        r = donor_search(g.xyz, np.array([[0.5, 0.0]]))
+        assert not r.found.any()
+
+    def test_point_beyond_outer_radius_not_found(self):
+        g = airfoil_ogrid("near", ni=61, nj=21, radius=1.5)
+        r = donor_search(g.xyz, np.array([[5.0, 5.0]]))
+        assert not r.found.any()
+
+
+class TestWindowedSearch:
+    """The distributed protocol walks only inside a rank's cell window."""
+
+    def test_escape_reports_hint(self):
+        xyz = uniform_xyz(21, 21)
+        # Window covers cells i in [0, 9]; target lives at i ~ 15.
+        r = donor_search(
+            xyz,
+            np.array([[15.5, 10.2]]),
+            guesses=np.array([[5, 10]]),
+            cell_lo=np.array([0, 0]),
+            cell_hi=np.array([9, 19]),
+        )
+        assert not r.found.any()
+        # Hint points beyond the window toward the target.
+        assert r.cells[0, 0] >= 9
+
+    def test_window_hit(self):
+        xyz = uniform_xyz(21, 21)
+        r = donor_search(
+            xyz,
+            np.array([[5.5, 10.2]]),
+            cell_lo=np.array([0, 0]),
+            cell_hi=np.array([9, 19]),
+        )
+        assert r.found.all()
+
+
+class TestSteps3D:
+    def test_3d_uniform(self):
+        g = cartesian_background("bg", (0, 0, 0), (5, 5, 5), (6, 6, 6))
+        pts = np.array([[2.5, 3.5, 1.25], [0.5, 0.5, 4.5]])
+        r = donor_search(g.xyz, pts)
+        assert r.found.all()
+        assert np.allclose(r.cells + r.fracs, pts, atol=1e-6)
+
+    def test_3d_outside(self):
+        g = cartesian_background("bg", (0, 0, 0), (5, 5, 5), (6, 6, 6))
+        r = donor_search(g.xyz, np.array([[9.0, 2.0, 2.0]]))
+        assert not r.found.any()
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0.01, 9.99), st.floats(0.01, 7.99))
+    def test_any_interior_point_found(self, x, y):
+        xyz = uniform_xyz()
+        r = donor_search(xyz, np.array([[x, y]]))
+        assert r.found.all()
+        assert (r.fracs >= 0).all() and (r.fracs <= 1).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.05, 6.2), st.floats(1.15, 2.85))
+    def test_annulus_found_property(self, theta, rad):
+        g = annulus_grid("mid", ni=61, nj=17, r_inner=1.0, r_outer=3.0,
+                         center=(0.0, 0.0))
+        pt = np.array([[rad * np.cos(theta), rad * np.sin(theta)]])
+        r = donor_search(g.xyz, pt)
+        assert r.found.all()

@@ -1,0 +1,80 @@
+"""Tests for multilinear interpolation weights."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.connectivity.interpolation import (
+    corner_offsets,
+    interpolate,
+    interpolation_weights,
+)
+from repro.grids.generators import cartesian_background
+
+unit = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestWeights:
+    def test_cell_center_2d(self):
+        w = interpolation_weights(np.array([[0.5, 0.5]]))
+        assert np.allclose(w, 0.25)
+
+    def test_corner_weight_is_one(self):
+        w = interpolation_weights(np.array([[0.0, 0.0]]))
+        assert w[0, 0] == 1.0 and np.allclose(w[0, 1:], 0.0)
+        w = interpolation_weights(np.array([[1.0, 1.0]]))
+        assert w[0, -1] == 1.0
+
+    def test_corner_ordering_matches_offsets(self):
+        """Weight k corresponds to corner_offsets()[k]."""
+        fr = np.array([[0.9, 0.1]])
+        w = interpolation_weights(fr)[0]
+        offs = corner_offsets(2)
+        # corner (1,0): weight 0.9 * 0.9 = 0.81 is the largest.
+        k = np.argmax(w)
+        assert offs[k].tolist() == [1, 0]
+
+    @given(arrays(np.float64, (5, 3), elements=unit))
+    def test_partition_of_unity(self, fr):
+        w = interpolation_weights(fr)
+        assert np.allclose(w.sum(axis=1), 1.0)
+        assert (w >= 0).all()
+
+
+class TestInterpolate:
+    def test_linear_field_exact(self):
+        """Multilinear interpolation reproduces linear fields exactly."""
+        g = cartesian_background("bg", (0, 0), (4, 4), (5, 5))
+        field = 2.0 * g.xyz[..., 0] - 3.0 * g.xyz[..., 1] + 1.0
+        cells = np.array([[1, 2], [0, 0], [3, 3]])
+        fracs = np.array([[0.3, 0.7], [0.0, 0.5], [0.9, 0.1]])
+        got = interpolate(field, cells, fracs)
+        pts = cells + fracs
+        want = 2.0 * pts[:, 0] - 3.0 * pts[:, 1] + 1.0
+        assert np.allclose(got, want)
+
+    def test_vector_field(self):
+        g = cartesian_background("bg", (0, 0), (4, 4), (5, 5))
+        field = np.stack([g.xyz[..., 0], g.xyz[..., 1], g.xyz[..., 0] * 0 + 7],
+                         axis=-1)
+        got = interpolate(field, np.array([[2, 2]]), np.array([[0.25, 0.75]]))
+        assert np.allclose(got, [[2.25, 2.75, 7.0]])
+
+    def test_3d_trilinear(self):
+        g = cartesian_background("bg", (0, 0, 0), (2, 2, 2), (3, 3, 3))
+        field = g.xyz[..., 0] + 10 * g.xyz[..., 1] + 100 * g.xyz[..., 2]
+        got = interpolate(field, np.array([[0, 1, 0]]),
+                          np.array([[0.5, 0.5, 0.25]]))
+        assert np.allclose(got, [0.5 + 15.0 + 25.0])
+
+    def test_convexity(self):
+        """Interpolated values are bounded by the corner values."""
+        rng = np.random.default_rng(3)
+        field = rng.normal(size=(6, 6))
+        cells = np.array([[2, 3]])
+        fracs = np.array([[0.37, 0.83]])
+        got = interpolate(field, cells, fracs)[0]
+        corners = field[2:4, 3:5]
+        assert corners.min() - 1e-12 <= got <= corners.max() + 1e-12

@@ -1,0 +1,79 @@
+"""Moving-grid connectivity invariants across many timesteps.
+
+The paper's regime: the timestep is small enough that donor cells move
+by less than one receiving-grid cell per step (section 2.2) — these
+tests confirm that regime and the restart economics it enables over a
+longer motion history than the driver tests cover.
+"""
+
+import numpy as np
+import pytest
+
+from repro.connectivity.donorsearch import donor_search
+from repro.connectivity.restart import RestartCache
+from repro.grids.generators import annulus_grid, cartesian_background
+from repro.motion import PitchOscillation
+
+
+@pytest.fixture(scope="module")
+def moving_history():
+    """20 steps of a rotating annulus over a background: per-step donor
+    searches with the restart cache, recording steps and drift."""
+    ref = annulus_grid("mid", ni=41, nj=11, r_inner=1.0, r_outer=2.0,
+                       center=(0.25, 0.0))
+    bg = cartesian_background("bg", (-3, -3), (3, 3), (41, 41))
+    motion = PitchOscillation(center=(0.25, 0.0))
+    cache = RestartCache()
+    dt = 0.02
+    from repro.connectivity.igbp import find_igbps
+
+    s = find_igbps(ref, 0)
+    history = []
+    prev_cells = None
+    for k in range(20):
+        t = k * dt
+        moved = ref.with_coordinates(motion.at(t).apply(ref.xyz))
+        pts = moved.points_flat()[s.flat_indices]
+        hints = cache.hints(0, 1, s.flat_indices, 2)
+        res = donor_search(bg.xyz, pts, guesses=hints)
+        cache.store(0, 1, s.flat_indices, res.cells, res.found)
+        drift = (
+            np.abs(res.cells - prev_cells).max()
+            if prev_cells is not None
+            else 0
+        )
+        prev_cells = res.cells.copy()
+        history.append(
+            {"found": res.found, "steps": res.total_steps, "drift": drift}
+        )
+    return history, s.count
+
+
+class TestMovingDonors:
+    def test_all_points_found_every_step(self, moving_history):
+        history, n = moving_history
+        for h in history:
+            assert h["found"].all()
+
+    def test_donors_move_less_than_one_cell_per_step(self, moving_history):
+        """The paper's premise for nth-level restart."""
+        history, n = moving_history
+        for h in history[1:]:
+            assert h["drift"] <= 1
+
+    def test_warm_steps_stay_cheap(self, moving_history):
+        """After the first (cold) solve, warm searches average ~1-2
+        walk steps per point, every step, for the whole motion."""
+        history, n = moving_history
+        cold = history[0]["steps"]
+        for h in history[1:]:
+            assert h["steps"] < 0.25 * cold
+            assert h["steps"] <= 3 * n
+
+    def test_cost_does_not_grow_with_time(self, moving_history):
+        """No degradation as the motion accumulates: the last five steps
+        cost no more than the first five warm steps."""
+        history, n = moving_history
+        early = sum(h["steps"] for h in history[1:6])
+        late = sum(h["steps"] for h in history[15:20])
+        assert late <= 1.5 * early

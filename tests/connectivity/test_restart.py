@@ -1,0 +1,70 @@
+"""Tests for the nth-level restart cache."""
+
+import numpy as np
+
+from repro.connectivity.restart import RestartCache
+
+
+class TestRestartCache:
+    def test_empty_cache_returns_none(self):
+        cache = RestartCache()
+        assert cache.hints(0, 1, np.array([3, 4]), ndim=2) is None
+        assert cache.misses == 2
+
+    def test_store_and_recall(self):
+        cache = RestartCache()
+        cache.store(
+            0, 1,
+            flat_indices=np.array([10, 11]),
+            cells=np.array([[3, 4], [5, 6]]),
+            found=np.array([True, True]),
+        )
+        hints = cache.hints(0, 1, np.array([10, 11]), ndim=2)
+        assert hints.tolist() == [[3, 4], [5, 6]]
+        assert cache.hit_rate == 1.0
+
+    def test_unfound_donors_not_stored(self):
+        cache = RestartCache()
+        cache.store(0, 1, np.array([10]), np.array([[3, 4]]),
+                    np.array([False]))
+        assert cache.hints(0, 1, np.array([10]), ndim=2) is None
+
+    def test_unknown_points_get_median_of_known(self):
+        cache = RestartCache()
+        cache.store(
+            0, 1,
+            np.array([1, 2, 3]),
+            np.array([[10, 10], [12, 12], [14, 14]]),
+            np.array([True, True, True]),
+        )
+        hints = cache.hints(0, 1, np.array([1, 99]), ndim=2)
+        assert hints[0].tolist() == [10, 10]
+        # Unknown rows take the median of the donors known *within this
+        # query batch* (only point 1 here).
+        assert hints[1].tolist() == [10, 10]
+
+    def test_pairs_are_independent(self):
+        cache = RestartCache()
+        cache.store(0, 1, np.array([5]), np.array([[1, 1]]), np.array([True]))
+        assert cache.hints(0, 2, np.array([5]), ndim=2) is None
+        assert cache.hints(1, 1, np.array([5]), ndim=2) is None
+
+    def test_invalidate_receiver(self):
+        cache = RestartCache()
+        cache.store(0, 1, np.array([5]), np.array([[1, 1]]), np.array([True]))
+        cache.store(2, 1, np.array([5]), np.array([[9, 9]]), np.array([True]))
+        cache.invalidate(receiver=0)
+        assert cache.hints(0, 1, np.array([5]), ndim=2) is None
+        assert cache.hints(2, 1, np.array([5]), ndim=2) is not None
+
+    def test_invalidate_all(self):
+        cache = RestartCache()
+        cache.store(0, 1, np.array([5]), np.array([[1, 1]]), np.array([True]))
+        cache.invalidate()
+        assert cache.hints(0, 1, np.array([5]), ndim=2) is None
+
+    def test_store_overwrites(self):
+        cache = RestartCache()
+        cache.store(0, 1, np.array([5]), np.array([[1, 1]]), np.array([True]))
+        cache.store(0, 1, np.array([5]), np.array([[2, 2]]), np.array([True]))
+        assert cache.hints(0, 1, np.array([5]), ndim=2).tolist() == [[2, 2]]

@@ -1,0 +1,60 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.core.ascii_plot import line_chart, speedup_chart
+
+
+class TestLineChart:
+    def test_renders_markers_and_axes(self):
+        out = line_chart(
+            {"a": [(1, 1), (2, 4)], "b": [(1, 2), (2, 2)]},
+            title="demo", xlabel="x", ylabel="y",
+        )
+        assert "demo" in out
+        assert "o" in out and "x" in out  # series markers
+        assert "|" in out and "+" in out  # axes
+        assert "o a" in out and "x b" in out  # legend
+
+    def test_single_point_series(self):
+        out = line_chart({"a": [(1.0, 1.0)]})
+        assert "o" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_degenerate_ranges_handled(self):
+        out = line_chart({"a": [(1, 5), (1, 5)]})
+        assert "o" in out
+
+    def test_monotone_series_rises_left_to_right(self):
+        out = line_chart({"a": [(0, 0), (10, 10)]}, width=40, height=10)
+        rows = [r for r in out.splitlines() if "|" in r]
+        first_mark = min(
+            (i for i, r in enumerate(rows) if "o" in r), default=None
+        )
+        last_mark = max(
+            (i for i, r in enumerate(rows) if "o" in r), default=None
+        )
+        # Highest y (top row) must hold the right-end marker.
+        assert first_mark == 0
+        assert last_mark == len(rows) - 1
+
+
+class TestSpeedupChart:
+    def test_from_table_rows(self):
+        rows = [
+            {"nodes": 6, "speedup": 1.0, "speedup_overflow": 1.0,
+             "speedup_dcf3d": 1.0},
+            {"nodes": 12, "speedup": 1.9, "speedup_overflow": 2.0,
+             "speedup_dcf3d": 1.4},
+            {"nodes": 24, "speedup": 3.6, "speedup_overflow": 4.1,
+             "speedup_dcf3d": 2.0},
+        ]
+        out = speedup_chart(rows, title="fig 5")
+        assert "fig 5" in out
+        assert "ideal" in out and "dcf3d" in out
+        assert "processors" in out

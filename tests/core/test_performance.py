@@ -1,0 +1,67 @@
+"""Tests for performance-table assembly and the serial baseline."""
+
+import pytest
+
+from repro.cases import airfoil_case
+from repro.core import OverflowD1, serial_time_per_step, speedup_table
+from repro.core.performance import PerformanceTable
+from repro.machine import cray_ymp, sp2
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = []
+    for nodes in (3, 6):
+        cfg = airfoil_case(machine=sp2(nodes=nodes), scale=0.05, nsteps=2)
+        out.append(OverflowD1(cfg).run())
+    return out, airfoil_case(machine=sp2(nodes=3), scale=0.05).total_gridpoints
+
+
+class TestSpeedupTable:
+    def test_base_row_is_unity(self, runs):
+        rs, total = runs
+        table = speedup_table(rs, total)
+        base = table.rows[0]
+        assert base["speedup"] == pytest.approx(1.0)
+        assert base["speedup_overflow"] == pytest.approx(1.0)
+        assert base["speedup_dcf3d"] == pytest.approx(1.0)
+
+    def test_rows_sorted_by_nodes(self, runs):
+        rs, total = runs
+        table = speedup_table(list(reversed(rs)), total)
+        assert [r["nodes"] for r in table.rows] == [3, 6]
+
+    def test_gridpoints_per_node(self, runs):
+        rs, total = runs
+        table = speedup_table(rs, total)
+        assert table.rows[0]["gridpoints/node"] == pytest.approx(total / 3)
+
+    def test_format_contains_all_rows(self, runs):
+        rs, total = runs
+        text = speedup_table(rs, total).format()
+        assert text.count("\n") >= 3
+        for header in speedup_table(rs, total).headers():
+            assert header in text
+
+
+class TestSerialBaseline:
+    def test_positive_and_scales_with_points(self):
+        small = airfoil_case(machine=cray_ymp(), scale=0.05, nsteps=1)
+        big = airfoil_case(machine=cray_ymp(), scale=0.2, nsteps=1)
+        t_small = serial_time_per_step(small)
+        t_big = serial_time_per_step(big)
+        assert 0 < t_small < t_big
+
+    def test_rejects_multinode_machine(self):
+        cfg = airfoil_case(machine=sp2(nodes=4), scale=0.05, nsteps=1)
+        with pytest.raises(ValueError, match="1-node"):
+            serial_time_per_step(cfg)
+
+    def test_parallel_beats_serial(self):
+        """A 12-node SP2 run must beat the single YMP processor (the
+        point of Table 6)."""
+        ymp_cfg = airfoil_case(machine=cray_ymp(), scale=0.1, nsteps=2)
+        t_serial = serial_time_per_step(ymp_cfg)
+        par_cfg = airfoil_case(machine=sp2(nodes=12), scale=0.1, nsteps=2)
+        t_parallel = OverflowD1(par_cfg).run().time_per_step
+        assert t_parallel < t_serial

@@ -1,0 +1,89 @@
+"""Tests for rigid-body grid motion."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grids import RigidMotion
+
+angles = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestConstruction:
+    def test_identity(self):
+        m = RigidMotion.identity(3)
+        pts = np.random.default_rng(0).normal(size=(5, 3))
+        assert np.allclose(m.apply(pts), pts)
+        assert m.is_identity()
+
+    def test_rejects_non_orthonormal(self):
+        with pytest.raises(ValueError, match="orthonormal"):
+            RigidMotion(np.array([[1.0, 0.0], [0.5, 1.0]]), np.zeros(2))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            RigidMotion(np.eye(3), np.zeros(2))
+
+    def test_zero_axis_raises(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            RigidMotion.rotation3d((0, 0, 0), 1.0)
+
+
+class TestApply:
+    def test_translation(self):
+        m = RigidMotion.translation_of([1.0, -2.0])
+        assert np.allclose(m.apply(np.array([0.0, 0.0])), [1.0, -2.0])
+
+    def test_rotation2d_quarter_turn(self):
+        m = RigidMotion.rotation2d(np.pi / 2)
+        assert np.allclose(m.apply(np.array([1.0, 0.0])), [0.0, 1.0])
+
+    def test_rotation2d_about_center(self):
+        m = RigidMotion.rotation2d(np.pi, center=(1.0, 0.0))
+        assert np.allclose(m.apply(np.array([2.0, 0.0])), [0.0, 0.0], atol=1e-12)
+        # Center is a fixed point.
+        assert np.allclose(m.apply(np.array([1.0, 0.0])), [1.0, 0.0], atol=1e-12)
+
+    def test_rotation3d_z_matches_2d(self):
+        m3 = RigidMotion.rotation3d((0, 0, 1), 0.3)
+        m2 = RigidMotion.rotation2d(0.3)
+        p = np.array([0.7, -0.2])
+        got3 = m3.apply(np.array([p[0], p[1], 5.0]))
+        assert np.allclose(got3[:2], m2.apply(p))
+        assert got3[2] == pytest.approx(5.0)
+
+    def test_grid_shaped_points(self):
+        m = RigidMotion.rotation2d(0.1)
+        pts = np.random.default_rng(1).normal(size=(4, 5, 2))
+        out = m.apply(pts)
+        assert out.shape == pts.shape
+
+
+class TestAlgebra:
+    @given(angles, coords, coords)
+    def test_inverse_roundtrip(self, a, tx, ty):
+        m = RigidMotion.rotation2d(a, center=(0.3, -0.7)).then(
+            RigidMotion.translation_of([tx, ty])
+        )
+        pts = np.array([[1.0, 2.0], [-3.0, 0.5]])
+        back = m.inverse().apply(m.apply(pts))
+        assert np.allclose(back, pts, atol=1e-8)
+
+    @given(angles, angles)
+    def test_composition_matches_sequential(self, a1, a2):
+        m1 = RigidMotion.rotation2d(a1, center=(1.0, 0.0))
+        m2 = RigidMotion.rotation2d(a2, center=(-1.0, 2.0))
+        pts = np.array([[0.2, 0.4]])
+        assert np.allclose(m1.then(m2).apply(pts), m2.apply(m1.apply(pts)),
+                           atol=1e-9)
+
+    @given(angles)
+    def test_rotation_preserves_distances(self, a):
+        m = RigidMotion.rotation3d((1, 2, 3), a, center=(0.5, 0.5, 0.5))
+        pts = np.random.default_rng(2).normal(size=(6, 3))
+        out = m.apply(pts)
+        d_in = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        d_out = np.linalg.norm(out[:, None] - out[None, :], axis=-1)
+        assert np.allclose(d_in, d_out, atol=1e-9)

@@ -1,0 +1,153 @@
+"""Tests for curvilinear grids: construction, faces, coarsen/refine."""
+
+import numpy as np
+import pytest
+
+from repro.grids import BoundaryFace, CurvilinearGrid
+from repro.grids.generators import cartesian_background
+
+
+def simple_grid(ni=5, nj=4):
+    x, y = np.meshgrid(np.arange(ni, dtype=float), np.arange(nj, dtype=float),
+                       indexing="ij")
+    return CurvilinearGrid("g", np.stack([x, y], axis=-1))
+
+
+def simple_grid_3d(ni=4, nj=3, nk=5):
+    ax = [np.arange(n, dtype=float) for n in (ni, nj, nk)]
+    mesh = np.meshgrid(*ax, indexing="ij")
+    return CurvilinearGrid("g3", np.stack(mesh, axis=-1))
+
+
+class TestConstruction:
+    def test_dims_and_counts(self):
+        g = simple_grid(5, 4)
+        assert g.ndim == 2
+        assert g.dims == (5, 4)
+        assert g.npoints == 20
+        assert g.ncells == 12
+
+    def test_3d(self):
+        g = simple_grid_3d()
+        assert g.ndim == 3
+        assert g.npoints == 60
+        assert g.ncells == 3 * 2 * 4
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="xyz must be"):
+            CurvilinearGrid("bad", np.zeros((5, 4, 3)))  # 2-D grid, 3 coords
+        with pytest.raises(ValueError, match="xyz must be"):
+            CurvilinearGrid("bad", np.zeros((5, 2)))
+
+    def test_rejects_single_point_direction(self):
+        with pytest.raises(ValueError, match=">= 2 points"):
+            CurvilinearGrid("bad", np.zeros((1, 4, 2)))
+
+    def test_rejects_k_face_on_2d(self):
+        with pytest.raises(ValueError, match="invalid on a 2-D"):
+            CurvilinearGrid(
+                "bad", np.zeros((3, 3, 2)), (BoundaryFace("kmin", "wall"),)
+            )
+
+    def test_boundary_face_validation(self):
+        with pytest.raises(ValueError, match="unknown face"):
+            BoundaryFace("top", "wall")
+        with pytest.raises(ValueError, match="unknown boundary kind"):
+            BoundaryFace("imin", "slippery")
+
+    def test_coordinates_are_contiguous_float64(self):
+        g = simple_grid()
+        assert g.xyz.flags["C_CONTIGUOUS"]
+        assert g.xyz.dtype == np.float64
+
+
+class TestFaces:
+    def test_face_points_shape(self):
+        g = simple_grid(5, 4)
+        assert g.face_points("imin").shape == (4, 2)
+        assert g.face_points("jmax").shape == (5, 2)
+
+    def test_face_points_values(self):
+        g = simple_grid(5, 4)
+        assert np.allclose(g.face_points("imin")[:, 0], 0.0)
+        assert np.allclose(g.face_points("imax")[:, 0], 4.0)
+
+    def test_face_index_roundtrip(self):
+        g = simple_grid(5, 4)
+        idx = g.face_index("jmin")
+        pts = g.points_flat()[idx]
+        assert np.allclose(pts, g.face_points("jmin").reshape(-1, 2))
+
+    def test_3d_face(self):
+        g = simple_grid_3d(4, 3, 5)
+        assert g.face_points("kmax").shape == (4, 3, 3)
+        assert np.allclose(g.face_points("kmax")[..., 2], 4.0)
+
+    def test_invalid_face_raises(self):
+        with pytest.raises(ValueError, match="invalid"):
+            simple_grid().face_points("kmin")
+
+    def test_wall_faces_filter(self):
+        g = CurvilinearGrid(
+            "g",
+            simple_grid().xyz,
+            (BoundaryFace("jmin", "wall"), BoundaryFace("jmax", "overset")),
+        )
+        assert [b.face for b in g.wall_faces()] == ["jmin"]
+
+
+class TestScaleUp:
+    """The paper's scale-up construction (section 4.1): coarsen by
+    removing every other point (~4x fewer in 2-D), refine by inserting
+    midpoints (~4x more)."""
+
+    def test_coarsen_point_count(self):
+        g = cartesian_background("bg", (0, 0), (1, 1), (41, 41))
+        c = g.coarsened()
+        assert c.dims == (21, 21)
+        # ~4x reduction, as in the paper.
+        assert g.npoints / c.npoints == pytest.approx(4.0, rel=0.1)
+
+    def test_coarsen_preserves_extent(self):
+        g = cartesian_background("bg", (0, 0), (3, 7), (40, 40))  # even dims
+        c = g.coarsened()
+        assert c.bounding_box() == g.bounding_box()
+
+    def test_refine_point_count(self):
+        g = cartesian_background("bg", (0, 0), (1, 1), (21, 21))
+        r = g.refined()
+        assert r.dims == (41, 41)
+        assert r.npoints / g.npoints == pytest.approx(4.0, rel=0.1)
+
+    def test_refine_preserves_extent_and_points(self):
+        g = cartesian_background("bg", (0, 0), (1, 1), (5, 5))
+        r = g.refined()
+        assert r.bounding_box() == g.bounding_box()
+        # Original points survive at even indices.
+        assert np.allclose(r.xyz[::2, ::2], g.xyz)
+
+    def test_refine_midpoints_are_averages(self):
+        g = simple_grid(4, 3)
+        r = g.refined()
+        assert np.allclose(
+            r.xyz[1::2, ::2], 0.5 * (g.xyz[:-1] + g.xyz[1:])
+        )
+
+    def test_coarsen_then_refine_roundtrip_extent(self):
+        g = cartesian_background("bg", (0, 0), (1, 1), (17, 17))
+        assert g.coarsened().refined().dims == g.dims
+
+    def test_flags_preserved(self):
+        g = CurvilinearGrid(
+            "v", simple_grid().xyz, (BoundaryFace("jmin", "wall"),),
+            viscous=True, turbulence=True,
+        )
+        for derived in (g.coarsened(), g.refined(), g.with_coordinates(g.xyz)):
+            assert derived.viscous and derived.turbulence
+            assert derived.boundaries == g.boundaries
+            assert derived.name == g.name
+
+    def test_3d_coarsen_factor_8(self):
+        g = simple_grid_3d(17, 17, 17)
+        c = g.coarsened()
+        assert g.npoints / c.npoints == pytest.approx(8.0, rel=0.2)

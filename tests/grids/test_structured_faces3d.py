@@ -1,0 +1,49 @@
+"""Additional structured-grid coverage: 3-D faces and flag plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.grids import BoundaryFace, CurvilinearGrid
+from repro.grids.generators import cartesian_background
+
+
+def grid3(ni=4, nj=5, nk=6):
+    return cartesian_background("g", (0, 0, 0), (ni - 1, nj - 1, nk - 1),
+                                (ni, nj, nk))
+
+
+class TestFaces3D:
+    def test_face_index_matches_points(self):
+        g = grid3()
+        for face in ("imin", "imax", "jmin", "jmax", "kmin", "kmax"):
+            idx = g.face_index(face)
+            pts = g.points_flat()[idx]
+            want = g.face_points(face).reshape(-1, 3)
+            assert np.allclose(pts, want), face
+
+    def test_face_counts(self):
+        g = grid3(4, 5, 6)
+        assert g.face_index("imin").size == 5 * 6
+        assert g.face_index("kmax").size == 4 * 5
+
+    def test_refine_3d_counts(self):
+        g = grid3(3, 3, 3)
+        r = g.refined()
+        assert r.dims == (5, 5, 5)
+        assert np.allclose(r.xyz[::2, ::2, ::2], g.xyz)
+
+    def test_coarsen_3d_keeps_ends(self):
+        g = grid3(7, 7, 7)
+        c = g.coarsened()
+        assert c.bounding_box() == g.bounding_box()
+
+    def test_wall_faces_3d(self):
+        g = CurvilinearGrid(
+            "w", grid3().xyz,
+            (BoundaryFace("kmin", "wall"), BoundaryFace("kmax", "overset")),
+        )
+        assert [b.face for b in g.wall_faces()] == ["kmin"]
+
+    def test_repr_mentions_flags(self):
+        g = CurvilinearGrid("v", grid3().xyz, viscous=True, turbulence=True)
+        assert "viscous" in repr(g) and "turb" in repr(g)

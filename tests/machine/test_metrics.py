@@ -1,0 +1,82 @@
+"""Direct tests for per-rank and machine-wide metrics."""
+
+import pytest
+
+from repro.machine.metrics import MachineMetrics, RankMetrics
+
+
+def rank(r, phases):
+    m = RankMetrics(r)
+    for phase, kind, dt in phases:
+        m.add_time(phase, kind, dt)
+    m.final_clock = m.total_time()
+    return m
+
+
+class TestRankMetrics:
+    def test_phase_time_sums_kinds(self):
+        m = rank(0, [("a", "compute", 1.0), ("a", "wait", 0.5),
+                     ("b", "comm", 0.25)])
+        assert m.phase_time("a") == pytest.approx(1.5)
+        assert m.total_time() == pytest.approx(1.75)
+
+    def test_negative_increment_rejected(self):
+        m = RankMetrics(0)
+        with pytest.raises(ValueError):
+            m.add_time("a", "compute", -1.0)
+
+    def test_flops_accounting(self):
+        m = RankMetrics(0)
+        m.add_flops("a", 100.0)
+        m.add_flops("b", 50.0)
+        assert m.total_flops() == 150.0
+
+
+class TestMachineMetrics:
+    def test_elapsed_is_max_clock(self):
+        mm = MachineMetrics([rank(0, [("a", "compute", 1.0)]),
+                             rank(1, [("a", "compute", 3.0)])])
+        assert mm.elapsed == 3.0
+
+    def test_imbalance(self):
+        mm = MachineMetrics([rank(0, [("a", "compute", 1.0)]),
+                             rank(1, [("a", "compute", 3.0)])])
+        assert mm.imbalance("a") == pytest.approx(3.0 / 2.0)
+
+    def test_perfect_balance_is_one(self):
+        mm = MachineMetrics([rank(0, [("a", "compute", 2.0)]),
+                             rank(1, [("a", "compute", 2.0)])])
+        assert mm.imbalance("a") == pytest.approx(1.0)
+
+    def test_phase_fraction(self):
+        mm = MachineMetrics([
+            rank(0, [("flow", "compute", 3.0), ("dcf", "compute", 1.0)]),
+            rank(1, [("flow", "compute", 3.0), ("dcf", "compute", 1.0)]),
+        ])
+        assert mm.phase_fraction("dcf") == pytest.approx(0.25)
+
+    def test_mflops_per_node(self):
+        a = rank(0, [("x", "compute", 2.0)])
+        a.add_flops("x", 10e6)
+        b = rank(1, [("x", "compute", 2.0)])
+        b.add_flops("x", 30e6)
+        mm = MachineMetrics([a, b])
+        # 40 Mflop over 2 s on 2 nodes = 10 Mflop/s/node.
+        assert mm.mflops_per_node() == pytest.approx(10.0)
+
+    def test_summary_structure(self):
+        mm = MachineMetrics([rank(0, [("a", "compute", 1.0)])])
+        s = mm.summary()
+        assert s["nranks"] == 1
+        assert "a" in s["phases"]
+        assert s["phases"]["a"]["fraction"] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MachineMetrics([])
+
+    def test_phases_preserve_order(self):
+        mm = MachineMetrics([
+            rank(0, [("z", "compute", 1.0), ("a", "compute", 1.0)]),
+        ])
+        assert mm.phases() == ["z", "a"]

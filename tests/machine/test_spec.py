@@ -1,0 +1,74 @@
+"""Tests for machine specifications."""
+
+import pytest
+
+from repro.machine import MachineSpec, NetworkSpec, NodeSpec, cray_ymp, sp, sp2
+
+
+class TestNodeSpec:
+    def test_effective_flops_plain(self):
+        node = NodeSpec(flops=30e6)
+        assert node.effective_flops() == 30e6
+        assert node.effective_flops(points_per_node=100) == 30e6
+
+    def test_cache_boost_applies_below_threshold(self):
+        node = NodeSpec(flops=30e6, cache_boost=1.2, cache_points=6000)
+        assert node.effective_flops(points_per_node=5000) == pytest.approx(36e6)
+
+    def test_cache_boost_not_applied_at_or_above_threshold(self):
+        node = NodeSpec(flops=30e6, cache_boost=1.2, cache_points=6000)
+        assert node.effective_flops(points_per_node=6000) == 30e6
+        assert node.effective_flops(points_per_node=60000) == 30e6
+
+    def test_no_boost_when_unknown_working_set(self):
+        node = NodeSpec(flops=30e6, cache_boost=1.2, cache_points=6000)
+        assert node.effective_flops(None) == 30e6
+
+
+class TestNetworkSpec:
+    def test_injection_time(self):
+        net = NetworkSpec(latency=50e-6, bandwidth=40e6, overhead=5e-6)
+        assert net.injection_time(40) == pytest.approx(5e-6 + 40 / 40e6)
+
+    def test_transfer_includes_latency(self):
+        net = NetworkSpec(latency=50e-6, bandwidth=40e6, overhead=5e-6)
+        assert net.transfer_time(0) == pytest.approx(55e-6)
+
+    def test_bandwidth_dominates_large_messages(self):
+        net = NetworkSpec(latency=50e-6, bandwidth=40e6)
+        one_mb = net.transfer_time(1_000_000)
+        assert one_mb == pytest.approx(1_000_000 / 40e6, rel=0.01)
+
+
+class TestMachineSpec:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            MachineSpec("m", 0, NodeSpec(1e6), NetworkSpec(1e-6, 1e6))
+
+    def test_with_nodes_preserves_everything_else(self):
+        m = sp2(nodes=4).with_nodes(16)
+        assert m.nodes == 16
+        assert m.name == "IBM SP2"
+        assert m.node.flops == sp2().node.flops
+
+    def test_compute_time(self):
+        m = sp2(nodes=1)
+        assert m.compute_time(30e6) == pytest.approx(1.0)
+
+
+class TestPresets:
+    def test_sp_is_faster_than_sp2(self):
+        """Paper section 4.0: the SP (P2SC, 135 MHz, 110 MB/s) outclasses
+        the SP2 (POWER2, 66.7 MHz, 40 MB/s) in both compute and network."""
+        assert sp().node.flops > sp2().node.flops
+        assert sp().network.bandwidth > sp2().network.bandwidth
+        assert sp().network.latency < sp2().network.latency
+
+    def test_ymp_is_single_node(self):
+        assert cray_ymp().nodes == 1
+
+    def test_ymp_node_comparable_to_sp_node(self):
+        """Table 6: one SP node is ~1.0-1.2 YMP units, one SP2 node ~0.5-0.7."""
+        ymp_rate = cray_ymp().node.flops
+        assert 0.9 < sp().node.flops / ymp_rate < 1.3
+        assert 0.4 < sp2().node.flops / ymp_rate < 0.8

@@ -1,0 +1,101 @@
+"""Tests for the free-motion (6-DOF-integrated) adapter."""
+
+import numpy as np
+import pytest
+
+from repro.motion import Loads, RigidBodyState, SixDof, SixDofMotion
+from repro.motion.prescribed import StoreSeparation
+
+
+def falling_body(mass=2.0):
+    return SixDof(mass=mass, inertia=1.0)
+
+
+class TestSixDofMotion:
+    def test_matches_analytic_free_fall(self):
+        g = -9.81
+
+        def loads(state, t):
+            return Loads(force=np.array([0.0, g * 2.0, 0.0]))
+
+        m = SixDofMotion(falling_body(2.0), loads, internal_dt=0.01)
+        p = m.at(1.0).apply(np.zeros(3))
+        assert p[1] == pytest.approx(0.5 * g * 1.0**2, rel=1e-3)
+
+    def test_identity_at_t0(self):
+        m = SixDofMotion(falling_body(), lambda s, t: Loads(),
+                         internal_dt=0.01)
+        assert m.at(0.0).is_identity()
+
+    def test_monotone_queries_cache(self):
+        def loads(state, t):
+            return Loads(force=np.array([1.0, 0.0, 0.0]))
+
+        m = SixDofMotion(falling_body(1.0), loads, internal_dt=0.1)
+        m.at(1.0)
+        n_states = len(m._states)
+        m.at(0.5)  # earlier query: no new integration
+        assert len(m._states) == n_states
+
+    def test_non_monotone_queries_consistent(self):
+        def loads(state, t):
+            return Loads(force=np.array([1.0, 0.0, 0.0]))
+
+        m = SixDofMotion(falling_body(1.0), loads, internal_dt=0.1)
+        late = m.at(2.0).apply(np.zeros(3))
+        early = m.at(1.0).apply(np.zeros(3))
+        again = m.at(2.0).apply(np.zeros(3))
+        assert np.allclose(late, again)
+        assert early[0] < late[0]
+
+    def test_negative_time_rejected(self):
+        m = SixDofMotion(falling_body(), lambda s, t: Loads(),
+                         internal_dt=0.1)
+        with pytest.raises(ValueError):
+            m.at(-1.0)
+
+    def test_bad_internal_dt(self):
+        with pytest.raises(ValueError):
+            SixDofMotion(falling_body(), lambda s, t: Loads(),
+                         internal_dt=0.0)
+
+    def test_2d_projection(self):
+        def loads(state, t):
+            return Loads(force=np.array([0.0, -1.0, 0.0]))
+
+        m = SixDofMotion(falling_body(1.0), loads, internal_dt=0.05, ndim=2)
+        motion = m.at(1.0)
+        assert motion.ndim == 2
+
+
+class TestFreeStoreMotion:
+    def test_free_store_drops_like_prescribed(self):
+        """The 6-DOF trajectory is qualitatively the prescribed one:
+        accelerating drop with nose-down pitch."""
+        from repro.cases.store import free_store_motion
+
+        free = free_store_motion()
+        prescribed = StoreSeparation(
+            eject_velocity=0.08, gravity=0.04, pitch_rate=0.015,
+            center=(0.5, 0.0, 0.0),
+        )
+        ref = np.array([0.5, 0.0, 0.0])
+        for t in (1.0, 2.0, 4.0):
+            yf = free.at(t).apply(ref)[1]
+            yp = prescribed.at(t).apply(ref)[1]
+            assert yf < 0 and yp < 0
+            assert yf == pytest.approx(yp, abs=0.15)
+
+    def test_parallel_performance_negligible_change(self):
+        """Paper section 4.3: free motion changes the parallel
+        performance negligibly."""
+        from repro.cases import store_case
+        from repro.core import OverflowD1
+        from repro.machine import sp2
+
+        times = {}
+        for fm in (False, True):
+            cfg = store_case(machine=sp2(nodes=20), scale=0.04,
+                             nsteps=3, free_motion=fm)
+            times[fm] = OverflowD1(cfg).run().time_per_step
+        assert times[True] == pytest.approx(times[False], rel=0.05)

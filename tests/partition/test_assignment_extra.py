@@ -1,0 +1,35 @@
+"""Extra Partition coverage: imbalance metrics and repr."""
+
+import numpy as np
+import pytest
+
+from repro.partition import build_partition
+
+
+class TestImbalanceMetrics:
+    def test_perfectly_divisible(self):
+        part = build_partition([(32, 32), (32, 32)], 8)
+        assert part.load_imbalance() == pytest.approx(1.0)
+
+    def test_awkward_ratio_bounded(self):
+        part = build_partition([(37, 23), (29, 31)], 7)
+        assert 1.0 <= part.load_imbalance() < 2.0
+
+    def test_points_conserved_across_many_configs(self):
+        dims = [(41, 29), (23, 53), (31, 31)]
+        total = sum(int(np.prod(d)) for d in dims)
+        for nprocs in (3, 5, 8, 13, 21):
+            part = build_partition(dims, nprocs)
+            assert part.points_per_rank().sum() == total
+
+    def test_repr_contains_summary(self):
+        part = build_partition([(20, 20)], 4)
+        r = repr(part)
+        assert "4 ranks" in r and "imbalance" in r
+
+    def test_grid_ranks_partition_everything(self):
+        part = build_partition([(20, 20), (30, 10), (15, 15)], 9)
+        all_ranks = sorted(
+            sum((part.ranks_of_grid(g) for g in range(3)), [])
+        )
+        assert all_ranks == list(range(9))

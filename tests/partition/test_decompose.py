@@ -1,0 +1,115 @@
+"""Tests for prime-factor subdomain decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import (
+    prime_factor_decompose,
+    prime_factors,
+    strip_decompose,
+    total_halo_points,
+)
+
+
+class TestPrimeFactors:
+    def test_paper_example(self):
+        """np(n)=12 -> prime factors 3, 2, 2 (paper section 3.0)."""
+        assert prime_factors(12) == [3, 2, 2]
+
+    def test_one(self):
+        assert prime_factors(1) == []
+
+    def test_prime(self):
+        assert prime_factors(13) == [13]
+
+    def test_descending_order(self):
+        assert prime_factors(60) == [5, 3, 2, 2]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            prime_factors(0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_product_recovers_n(self, n):
+        out = prime_factors(n)
+        assert int(np.prod(out)) if out else 1 == n
+
+
+class TestPrimeFactorDecompose:
+    def test_single_part_is_whole(self):
+        boxes = prime_factor_decompose((10, 20), 1)
+        assert len(boxes) == 1
+        assert boxes[0].shape == (10, 20)
+
+    def test_part_count_and_conservation(self):
+        boxes = prime_factor_decompose((30, 20, 10), 12)
+        assert len(boxes) == 12
+        assert sum(b.npoints for b in boxes) == 6000
+
+    def test_no_overlap(self):
+        boxes = prime_factor_decompose((16, 12), 8)
+        seen = np.zeros((16, 12), dtype=int)
+        for b in boxes:
+            seen[b.slices()] += 1
+        assert (seen == 1).all()
+
+    def test_largest_dimension_split_first(self):
+        """Paper Fig. 4: with np=12 = 3*2*2, the largest dimension is cut
+        by 3 first."""
+        boxes = prime_factor_decompose((90, 30), 3)
+        # Split along i (length 90), giving 30x30 squares.
+        assert all(b.shape == (30, 30) for b in boxes)
+
+    def test_near_cubic_subdomains(self):
+        boxes = prime_factor_decompose((64, 64), 16)
+        for b in boxes:
+            ratio = max(b.shape) / min(b.shape)
+            assert ratio <= 2.0
+
+    def test_too_small_grid_raises(self):
+        with pytest.raises(ValueError, match="cannot be split"):
+            prime_factor_decompose((2, 2), 16)
+
+    def test_falls_back_to_other_axis(self):
+        # Largest dim is 3 < factor 5, but second axis can take it.
+        # dims sorted by size: axis1=5 is splittable by 5.
+        boxes = prime_factor_decompose((3, 5), 5)
+        assert len(boxes) == 5
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.tuples(st.integers(33, 64), st.integers(33, 64), st.integers(33, 64)),
+        st.integers(1, 32),
+    )
+    def test_conservation_property(self, dims, nparts):
+        boxes = prime_factor_decompose(dims, nparts)
+        assert len(boxes) == nparts
+        assert sum(b.npoints for b in boxes) == int(np.prod(dims))
+
+
+class TestStripVsPrimeFactor:
+    def test_prime_factor_has_less_halo(self):
+        """The design-choice ablation: near-cubic subdomains generate
+        less halo traffic than 1-D slabs for 2-D+ decompositions."""
+        dims = (128, 128)
+        pf = prime_factor_decompose(dims, 16)
+        strips = strip_decompose(dims, 16)
+        assert total_halo_points(pf, dims) < total_halo_points(strips, dims)
+
+    def test_strip_decompose_is_slabs(self):
+        boxes = strip_decompose((100, 10), 4)
+        assert len(boxes) == 4
+        assert all(b.shape[1] == 10 for b in boxes)
+
+    def test_equal_for_one_part(self):
+        dims = (64, 64)
+        assert total_halo_points(prime_factor_decompose(dims, 1), dims) == 0
+        assert total_halo_points(strip_decompose(dims, 1), dims) == 0
+
+    def test_3d_advantage_grows(self):
+        dims = (64, 64, 64)
+        pf = total_halo_points(prime_factor_decompose(dims, 64), dims)
+        st_ = total_halo_points(strip_decompose(dims, 64), dims)
+        assert pf < 0.5 * st_

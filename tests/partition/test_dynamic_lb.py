@@ -1,0 +1,123 @@
+"""Tests for Algorithm 2 (dynamic load balance)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.partition import DynamicRebalancer, build_partition, dynamic_rebalance
+
+
+def two_grid_partition(nprocs=6):
+    return build_partition([(60, 60), (60, 60)], nprocs)
+
+
+class TestDynamicRebalance:
+    def test_f0_infinity_is_noop(self):
+        part = two_grid_partition()
+        igbp = np.array([100.0, 0, 0, 0, 0, 0])
+        assert dynamic_rebalance(part, igbp, math.inf) is None
+
+    def test_no_overload_is_noop(self):
+        part = two_grid_partition()
+        igbp = np.full(6, 50.0)  # perfectly balanced
+        assert dynamic_rebalance(part, igbp, 2.0) is None
+
+    def test_zero_igbps_is_noop(self):
+        part = two_grid_partition()
+        assert dynamic_rebalance(part, np.zeros(6), 2.0) is None
+
+    def test_overloaded_grid_gains_processor(self):
+        part = two_grid_partition(6)
+        assert part.procs_per_grid == (3, 3)
+        # Rank 0 (grid 0) receives nearly all search requests.
+        igbp = np.array([600.0, 10, 10, 10, 10, 10])
+        new = dynamic_rebalance(part, igbp, f0=2.0)
+        assert new is not None
+        assert new.procs_per_grid[0] >= 4
+        assert new.nprocs == 6
+
+    def test_multiple_overloads_same_grid_accumulate(self):
+        part = two_grid_partition(8)
+        igbp = np.zeros(8)
+        ranks0 = part.ranks_of_grid(0)
+        igbp[ranks0[0]] = 500.0
+        igbp[ranks0[1]] = 500.0
+        new = dynamic_rebalance(part, igbp, f0=1.5)
+        assert new is not None
+        assert new.procs_per_grid[0] >= part.procs_per_grid[0] + 2
+
+    def test_rebalance_preserves_total_processors(self):
+        part = build_partition([(50, 50), (50, 50), (50, 50)], 9)
+        igbp = np.zeros(9)
+        igbp[part.ranks_of_grid(2)] = 300.0
+        new = dynamic_rebalance(part, igbp, f0=1.2)
+        assert new is not None
+        assert new.nprocs == 9
+        assert all(c >= 1 for c in new.procs_per_grid)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError, match="one entry per rank"):
+            dynamic_rebalance(two_grid_partition(), np.zeros(3), 2.0)
+
+    def test_nonpositive_f0_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            dynamic_rebalance(two_grid_partition(), np.ones(6), 0.0)
+
+    def test_cannot_exceed_machine(self):
+        """All processors overloaded on every grid: minimums are scaled
+        back to what the machine can hold (or the call is a no-op)."""
+        part = two_grid_partition(6)
+        igbp = np.array([1000.0, 1, 1, 1000.0, 1, 1])
+        new = dynamic_rebalance(part, igbp, f0=1.5)
+        if new is not None:
+            assert new.nprocs == 6
+
+
+class TestDynamicRebalancer:
+    def test_waits_for_check_interval(self):
+        part = two_grid_partition()
+        rb = DynamicRebalancer(f0=1.5, check_interval=3)
+        hot = np.array([600.0, 1, 1, 1, 1, 1])
+        rb.record(hot)
+        assert rb.maybe_rebalance(part, step=1) is None
+        rb.record(hot)
+        assert rb.maybe_rebalance(part, step=2) is None
+        rb.record(hot)
+        new = rb.maybe_rebalance(part, step=3)
+        assert new is not None
+        assert rb.history == [(3, new.procs_per_grid)]
+
+    def test_accumulation_resets_after_check(self):
+        part = two_grid_partition()
+        rb = DynamicRebalancer(f0=1.5, check_interval=1)
+        rb.record(np.array([600.0, 1, 1, 1, 1, 1]))
+        first = rb.maybe_rebalance(part, step=1)
+        assert first is not None
+        # No new records: next check has nothing to act on.
+        assert rb.maybe_rebalance(first, step=2) is None
+
+    def test_max_rebalances_cap(self):
+        part = two_grid_partition()
+        rb = DynamicRebalancer(f0=1.01, check_interval=1, max_rebalances=1)
+        rb.record(np.array([600.0, 1, 1, 1, 1, 1]))
+        first = rb.maybe_rebalance(part, step=1)
+        assert first is not None
+        rb.record(np.array([600.0, 1, 1, 1, 1, 1]))
+        assert rb.maybe_rebalance(first, step=2) is None
+
+    def test_partition_size_change_resets_accumulator(self):
+        rb = DynamicRebalancer(f0=2.0, check_interval=2)
+        rb.record(np.ones(6))
+        rb.record(np.ones(8))  # partition grew: restart accumulation
+        assert rb._accum.shape == (8,)
+
+    def test_infinite_f0_never_rebalances(self):
+        part = two_grid_partition()
+        rb = DynamicRebalancer(f0=math.inf, check_interval=1)
+        rb.record(np.array([1e9, 0, 0, 0, 0, 0]))
+        assert rb.maybe_rebalance(part, step=1) is None
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            DynamicRebalancer(f0=2.0, check_interval=0)

@@ -1,0 +1,119 @@
+"""Tests for Algorithm 3 (grouping strategy, paper section 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import group_grids
+
+
+class TestBasics:
+    def test_single_group_takes_all(self):
+        r = group_grids([10, 20, 30], set(), 1)
+        assert r.group_of == (0, 0, 0)
+        assert r.group_points == (60,)
+
+    def test_grids_spread_without_connectivity(self):
+        """Disconnected grids round-robin into the smallest groups."""
+        r = group_grids([100, 100, 100, 100], set(), 2)
+        assert r.imbalance() == pytest.approx(1.0)
+        assert sorted(r.group_points) == [200, 200]
+
+    def test_connected_grids_colocate(self):
+        # Chain 0-1, separate pair 2-3; two groups.
+        sizes = [50, 40, 50, 40]
+        conn = {(0, 1), (2, 3)}
+        r = group_grids(sizes, conn, 2)
+        assert r.group_of[0] == r.group_of[1]
+        assert r.group_of[2] == r.group_of[3]
+        assert r.group_of[0] != r.group_of[2]
+        assert r.intra_group_edges(conn) == 2
+
+    def test_largest_grid_placed_first(self):
+        sizes = [10, 1000, 10]
+        r = group_grids(sizes, set(), 3)
+        # Every grid alone in a group: all groups non-empty.
+        assert sorted(r.group_points) == [10, 10, 1000]
+
+    def test_unconnected_grid_goes_to_smallest_group(self):
+        # One isolated grid after two groups are seeded and connected.
+        sizes = [100, 90, 5]
+        conn = {(0, 1)}
+        r = group_grids(sizes, conn, 2)
+        # Grid 2 is isolated: must land in the smaller group (group of 1).
+        assert r.group_points[r.group_of[2]] <= 100 + 5
+
+    def test_paper_example_shape(self):
+        """The Algorithm-3 sketch: 8 grids, 2 groups; connected chains
+        stay together while work stays roughly even."""
+        sizes = [80, 70, 60, 50, 40, 30, 20, 10]
+        conn = {(0, 2), (2, 4), (4, 6), (1, 3), (3, 5), (5, 7)}
+        r = group_grids(sizes, conn, 2)
+        assert r.ngroups == 2
+        assert r.imbalance() < 1.5
+        # Most connectivity preserved within groups.
+        assert r.intra_group_edges(conn) >= 4
+
+
+class TestValidation:
+    def test_zero_groups(self):
+        with pytest.raises(ValueError):
+            group_grids([10], set(), 0)
+
+    def test_nonpositive_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            group_grids([10, 0], set(), 2)
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            group_grids([10, 10], {(0, 5)}, 2)
+
+    def test_self_edge_ignored(self):
+        r = group_grids([10, 10], {(0, 0)}, 2)
+        assert len(set(r.group_of)) == 2
+
+
+class TestMembersAndMetrics:
+    def test_members(self):
+        r = group_grids([10, 20, 30], set(), 2)
+        all_members = sorted(sum((r.members(g) for g in range(2)), []))
+        assert all_members == [0, 1, 2]
+
+    def test_group_points_consistent(self):
+        sizes = [13, 7, 22, 4]
+        r = group_grids(sizes, {(0, 1)}, 2)
+        for g in range(2):
+            assert r.group_points[g] == sum(sizes[m] for m in r.members(g))
+
+
+sizes_strategy = st.lists(st.integers(1, 1000), min_size=1, max_size=30)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(sizes_strategy, st.integers(1, 8), st.data())
+    def test_every_grid_assigned_once(self, sizes, ngroups, data):
+        n = len(sizes)
+        nedges = data.draw(st.integers(0, min(20, n * n)))
+        edges = set()
+        for _ in range(nedges):
+            a = data.draw(st.integers(0, n - 1))
+            b = data.draw(st.integers(0, n - 1))
+            edges.add((a, b))
+        r = group_grids(sizes, edges, ngroups)
+        assert len(r.group_of) == n
+        assert all(0 <= g < ngroups for g in r.group_of)
+        assert sum(r.group_points) == sum(sizes)
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes_strategy)
+    def test_no_connectivity_is_well_balanced(self, sizes):
+        """Greedy largest-first into smallest group: classic LPT bound
+        keeps imbalance modest when there are enough grids."""
+        ngroups = 2
+        r = group_grids(sizes, set(), ngroups)
+        if len(sizes) >= 2 * ngroups:
+            biggest = max(sizes)
+            total = sum(sizes)
+            # LPT guarantee: max group <= total/m + biggest.
+            assert max(r.group_points) <= total / ngroups + biggest

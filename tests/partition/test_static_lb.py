@@ -1,0 +1,140 @@
+"""Tests for Algorithm 1 (static load balance)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import static_balance
+
+
+class TestPerfectBalance:
+    def test_evenly_divisible(self):
+        """Three equal grids on six processors: tau stays 0."""
+        r = static_balance([100, 100, 100], 6)
+        assert r.procs_per_grid == (2, 2, 2)
+        assert r.tau == 0.0
+        assert r.perturbations == 0
+
+    def test_proportional_split(self):
+        r = static_balance([300, 100], 4)
+        assert r.procs_per_grid == (3, 1)
+        assert r.tau == 0.0
+
+    def test_one_grid_gets_everything(self):
+        r = static_balance([1000], 7)
+        assert r.procs_per_grid == (7,)
+
+    def test_one_proc_per_grid(self):
+        r = static_balance([5, 50, 500], 3)
+        assert r.procs_per_grid == (1, 1, 1)
+
+
+class TestToleranceLoop:
+    def test_uneven_grids_converge(self):
+        r = static_balance([130, 70, 55], 8)
+        assert sum(r.procs_per_grid) == 8
+        assert all(c >= 1 for c in r.procs_per_grid)
+        # The biggest grid gets the most processors.
+        assert r.procs_per_grid[0] == max(r.procs_per_grid)
+
+    def test_tau_measures_imbalance(self):
+        """Perfectly divisible -> tau 0; awkward ratios -> tau > 0."""
+        perfect = static_balance([64, 64], 4)
+        awkward = static_balance([100, 47, 13], 7)
+        assert perfect.tau == 0.0
+        assert awkward.tau >= 0.0
+        assert sum(awkward.procs_per_grid) == 7
+
+    def test_paper_pathological_case_converges_by_perturbation(self):
+        """Two equal grids, three processors: the paper's example of an
+        'infinite solutions' case fixed by adding the grid index to g(n)."""
+        r = static_balance([1000, 1000], 3)
+        assert sum(r.procs_per_grid) == 3
+        assert sorted(r.procs_per_grid) == [1, 2]
+        assert r.perturbations >= 1 or r.used_repair
+
+    def test_perturbation_prefers_later_grid(self):
+        """g(n) += n gives later grids slightly more weight, so the tie
+        breaks deterministically."""
+        r1 = static_balance([1000, 1000], 3)
+        r2 = static_balance([1000, 1000], 3)
+        assert r1 == r2
+
+
+class TestConstraints:
+    def test_minimum_counts_enforced(self):
+        r = static_balance([100, 100], 6, min_points_constraints=[4, 1])
+        assert r.procs_per_grid[0] >= 4
+        assert sum(r.procs_per_grid) == 6
+
+    def test_constraints_sum_too_large(self):
+        with pytest.raises(ValueError, match="exceed NP"):
+            static_balance([10, 10], 3, min_points_constraints=[2, 2])
+
+    def test_constraint_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            static_balance([10, 10], 4, min_points_constraints=[1])
+
+
+class TestValidation:
+    def test_no_grids(self):
+        with pytest.raises(ValueError, match="no grids"):
+            static_balance([], 4)
+
+    def test_nonpositive_points(self):
+        with pytest.raises(ValueError, match="positive"):
+            static_balance([10, 0], 4)
+
+    def test_fewer_procs_than_grids(self):
+        with pytest.raises(ValueError, match="cannot cover"):
+            static_balance([10, 10, 10], 2)
+
+
+class TestResultHelpers:
+    def test_points_per_proc(self):
+        r = static_balance([300, 100], 4)
+        assert r.points_per_proc([300, 100]) == [100.0, 100.0]
+
+    def test_imbalance_perfect_is_one(self):
+        r = static_balance([300, 100], 4)
+        assert r.imbalance([300, 100]) == pytest.approx(1.0)
+
+    def test_imbalance_reflects_overload(self):
+        r = static_balance([100, 100, 100], 3)
+        assert r.imbalance([100, 100, 100]) == pytest.approx(1.0)
+
+
+# The paper's perturbation fallback ("the value of the grid index n is
+# added to g(n) ... n is generally very small relative to g(n)") assumes
+# realistic gridpoint counts; degenerate grids of a handful of points
+# would let repeated perturbations distort the ratios.
+grid_lists = st.lists(st.integers(min_value=100, max_value=200_000),
+                      min_size=1, max_size=10)
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(grid_lists, st.integers(min_value=1, max_value=64))
+    def test_always_valid_partition(self, grids, extra):
+        nprocs = len(grids) + extra - 1
+        r = static_balance(grids, nprocs)
+        assert sum(r.procs_per_grid) == nprocs
+        assert all(c >= 1 for c in r.procs_per_grid)
+
+    @settings(max_examples=100, deadline=None)
+    @given(grid_lists, st.integers(min_value=0, max_value=32))
+    def test_bigger_grid_never_fewer_procs_when_much_bigger(self, grids, extra):
+        """A grid at least 2x larger than another never receives fewer
+        processors (monotone fairness up to integer effects)."""
+        nprocs = len(grids) + extra
+        r = static_balance(grids, nprocs)
+        for i, gi in enumerate(grids):
+            for j, gj in enumerate(grids):
+                if gi >= 2 * gj and gj > 0:
+                    assert r.procs_per_grid[i] >= r.procs_per_grid[j] - 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(grid_lists)
+    def test_equal_procs_and_grids(self, grids):
+        r = static_balance(grids, len(grids))
+        assert r.procs_per_grid == tuple([1] * len(grids))

@@ -1,0 +1,64 @@
+"""Tests for Cp distributions and force coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.grids.generators import airfoil_ogrid, cartesian_background
+from repro.solver import FlowConfig, Solver2D
+
+
+@pytest.fixture(scope="module")
+def developed_airfoil():
+    grid = airfoil_ogrid("near", ni=81, nj=21, radius=4.0, viscous=False,
+                         cluster_beta=1.0)
+    s = Solver2D(grid, FlowConfig(mach=0.4, alpha=0.0, cfl=2.5))
+    for _ in range(350):  # enough for the stagnation region to develop
+        s.step()
+    return s
+
+
+class TestPressureCoefficient:
+    def test_freestream_cp_is_zero(self):
+        grid = airfoil_ogrid("near", ni=41, nj=11, viscous=False)
+        s = Solver2D(grid, FlowConfig(mach=0.5))
+        assert np.allclose(s.pressure_coefficient(), 0.0, atol=1e-12)
+
+    def test_stagnation_cp_near_one(self, developed_airfoil):
+        """Incompressible stagnation Cp = 1; at M=0.4 slightly above."""
+        cp = developed_airfoil.pressure_coefficient()
+        assert 0.6 < cp.max() < 1.6
+
+    def test_suction_region_exists(self, developed_airfoil):
+        """Flow accelerating over the thickness gives Cp < 0 somewhere."""
+        cp = developed_airfoil.pressure_coefficient()
+        assert cp.min() < -0.05
+
+    def test_requires_wall(self):
+        bg = cartesian_background("bg", (0, 0), (1, 1), (8, 8))
+        s = Solver2D(bg, FlowConfig())
+        with pytest.raises(ValueError, match="no jmin wall"):
+            s.pressure_coefficient()
+
+
+class TestForceCoefficients:
+    def test_symmetric_flow_near_zero_lift(self, developed_airfoil):
+        """NACA 0012 at alpha = 0: cl ~ 0 by symmetry."""
+        c = developed_airfoil.force_coefficients()
+        assert abs(c["cl"]) < 0.2
+        assert np.isfinite(c["cd"]) and np.isfinite(c["cm"])
+
+    def test_wind_frame_rotation(self):
+        """At alpha != 0 the wind-frame decomposition differs from the
+        body frame exactly by the rotation."""
+        grid = airfoil_ogrid("near", ni=41, nj=11, viscous=False)
+        s = Solver2D(grid, FlowConfig(mach=0.5, alpha=np.deg2rad(10)))
+        # Craft a fake force state: pure +y body force.
+        f = {"fx": 0.0, "fy": 1.0, "moment": 0.0}
+        import unittest.mock as mock
+
+        with mock.patch.object(Solver2D, "surface_forces", return_value=f):
+            c = s.force_coefficients()
+        a = np.deg2rad(10)
+        q_inf = 0.5 * 0.25
+        assert c["cl"] == pytest.approx(np.cos(a) / q_inf)
+        assert c["cd"] == pytest.approx(np.sin(a) / q_inf)

@@ -1,0 +1,140 @@
+"""Tests for physical boundary conditions."""
+
+import numpy as np
+import pytest
+
+from repro.solver import boundary as bc
+from repro.solver.state import FlowConfig, conservative, primitive
+
+
+def field(shape=(8, 6), mach=0.5):
+    return np.broadcast_to(
+        FlowConfig(mach=mach).freestream(), shape + (4,)
+    ).copy()
+
+
+class TestWall:
+    def test_noslip_zeroes_velocity(self):
+        q = field()
+        bc.apply_wall(q, "jmin", viscous=True, gamma=1.4)
+        _, u, v, _ = primitive(q[:, 0])
+        assert np.allclose(u, 0.0) and np.allclose(v, 0.0)
+
+    def test_noslip_keeps_interior_pressure(self):
+        q = field()
+        p_before = primitive(q[:, 1])[3].copy()
+        bc.apply_wall(q, "jmin", viscous=True, gamma=1.4)
+        assert np.allclose(primitive(q[:, 0])[3], p_before)
+
+    def test_slip_projects_out_normal_velocity(self):
+        q = field(mach=0.7)
+        # Wall normal along +y: the x-velocity survives, v is removed.
+        normals = np.tile([0.0, 1.0], (q.shape[0], 1))
+        bc.apply_wall(q, "jmin", viscous=False, gamma=1.4, normals=normals)
+        _, u, v, _ = primitive(q[:, 0])
+        assert np.allclose(u, 0.7)
+        assert np.allclose(v, 0.0)
+
+    def test_slip_tangency_general_normal(self):
+        q = field(mach=0.7)
+        n = np.tile([np.sqrt(0.5), np.sqrt(0.5)], (q.shape[0], 1))
+        bc.apply_wall(q, "jmin", viscous=False, gamma=1.4, normals=n)
+        _, u, v, _ = primitive(q[:, 0])
+        assert np.allclose(u * n[:, 0] + v * n[:, 1], 0.0, atol=1e-14)
+
+    def test_slip_without_normals_raises(self):
+        with pytest.raises(ValueError, match="needs wall normals"):
+            bc.apply_wall(field(), "jmin", viscous=False, gamma=1.4)
+
+    def test_wall_normals_flat_plate(self):
+        x = np.linspace(0, 1, 6)
+        y = np.linspace(0, 1, 4)
+        xyz = np.ascontiguousarray(
+            np.stack(np.meshgrid(x, y, indexing="ij"), axis=-1)
+        )
+        n = bc.wall_normals(xyz, "jmin")
+        assert np.allclose(n, [0.0, 1.0])
+        n_top = bc.wall_normals(xyz, "jmax")
+        assert np.allclose(n_top, [0.0, -1.0])
+
+    def test_wall_normals_circle_point_outward_from_wall(self):
+        theta = np.linspace(0, 2 * np.pi, 33)
+        r = np.linspace(1.0, 2.0, 5)
+        xyz = np.ascontiguousarray(
+            r[None, :, None]
+            * np.stack([np.cos(theta), np.sin(theta)], axis=-1)[:, None, :]
+        )
+        n = bc.wall_normals(xyz, "jmin")  # wall is the inner circle
+        radial = xyz[:, 0] / np.linalg.norm(xyz[:, 0], axis=-1, keepdims=True)
+        # Fluid is outward: normals align with +radial.
+        assert np.allclose(np.einsum("ij,ij->i", n, radial), 1.0, atol=1e-2)
+
+    def test_jmax_wall(self):
+        q = field()
+        bc.apply_wall(q, "jmax", viscous=True, gamma=1.4)
+        _, u, v, _ = primitive(q[:, -1])
+        assert np.allclose(u, 0.0)
+
+    def test_i_face_rejected(self):
+        with pytest.raises(ValueError, match="j faces"):
+            bc.apply_wall(field(), "imin", viscous=True, gamma=1.4)
+
+
+class TestFarfield:
+    @pytest.mark.parametrize("face,index", [
+        ("imin", np.s_[0]), ("imax", np.s_[-1]),
+        ("jmin", np.s_[:, 0]), ("jmax", np.s_[:, -1]),
+    ])
+    def test_sets_freestream(self, face, index):
+        q = field()
+        q *= 1.3  # disturb
+        qinf = FlowConfig(mach=0.5).freestream()
+        bc.apply_farfield(q, face, qinf)
+        assert np.allclose(q[index], qinf)
+
+    def test_unknown_face(self):
+        with pytest.raises(ValueError):
+            bc.apply_farfield(field(), "kmin", np.zeros(4))
+
+
+class TestPeriodic:
+    def test_seam_equalised(self):
+        q = field()
+        q[0] *= 1.1
+        q[-1] *= 0.9
+        bc.apply_periodic_seam(q)
+        assert np.allclose(q[0], q[-1])
+
+    def test_wrap_unwrap_roundtrip(self):
+        rng = np.random.default_rng(0)
+        arr = rng.normal(size=(11, 4, 2))
+        arr[-1] = arr[0]  # seam duplicated
+        wrapped = bc.wrap_periodic(arr, 2)
+        assert wrapped.shape == (15, 4, 2)
+        assert np.allclose(bc.unwrap_periodic(wrapped, 2), arr)
+
+    def test_wrap_ghost_values(self):
+        """Left ghosts replicate the periodic pre-seam points, right
+        ghosts the post-seam points."""
+        n = 9  # period 8
+        arr = np.arange(float(n))
+        arr[-1] = arr[0]  # closed loop 0..7 then repeat 0
+        w = bc.wrap_periodic(arr, 2)
+        assert w[0] == arr[6] and w[1] == arr[7]
+        assert w[-2] == arr[1] and w[-1] == arr[2]
+
+    def test_wrap_too_short(self):
+        with pytest.raises(ValueError):
+            bc.wrap_periodic(np.zeros(3), 2)
+
+    def test_wrapped_differences_continuous(self):
+        """Central differences across the seam of sin(theta) must match
+        the analytic derivative — the point of the ghost layers."""
+        theta = np.linspace(0, 2 * np.pi, 101)
+        f = np.sin(theta)
+        w = bc.wrap_periodic(f, 2)
+        d = 0.5 * (w[2:] - w[:-2])  # central, aligned with f[1:-1] + ghosts
+        dtheta = theta[1] - theta[0]
+        # Interior of the wrapped array covers all original points.
+        got = d[1:-1] / dtheta
+        assert np.allclose(got, np.cos(theta), atol=1e-3)

@@ -1,0 +1,68 @@
+"""Boundary helper coverage for the 3-D faces and generic slicers."""
+
+import numpy as np
+import pytest
+
+from repro.solver import boundary as bc
+from repro.solver.state import FlowConfig
+
+
+class TestFaceSlicer:
+    def test_2d_faces(self):
+        q = np.zeros((4, 5, 4))
+        assert q[bc.face_slicer("imin", 2)].shape == (5, 4)
+        assert q[bc.face_slicer("jmax", 2)].shape == (4, 4)
+
+    def test_3d_faces(self):
+        q = np.zeros((4, 5, 6, 5))
+        assert q[bc.face_slicer("kmin", 3)].shape == (4, 5, 5)
+        assert q[bc.face_slicer("imax", 3)].shape == (5, 6, 5)
+
+    def test_pos_override(self):
+        q = np.arange(4 * 5 * 4, dtype=float).reshape(4, 5, 4)
+        inner = q[bc.face_slicer("imin", 2, pos=1)]
+        assert np.array_equal(inner, q[1])
+
+    def test_k_face_on_2d_rejected(self):
+        with pytest.raises(ValueError, match="unknown face"):
+            bc.face_slicer("kmin", 2)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="unknown face"):
+            bc.face_slicer("front", 3)
+        with pytest.raises(ValueError, match="unknown face"):
+            bc.face_slicer("imid", 3)
+
+
+class TestFarfield3D:
+    @pytest.mark.parametrize("face", ["imin", "imax", "jmin", "jmax",
+                                      "kmin", "kmax"])
+    def test_sets_face(self, face):
+        qinf = FlowConfig(mach=0.5).freestream3d()
+        q = np.ones((4, 5, 6, 5)) * 9.0
+        bc.apply_farfield(q, face, qinf)
+        assert np.allclose(q[bc.face_slicer(face, 3)], qinf)
+        # Only the one face changed.
+        changed = np.sum(np.any(q != 9.0, axis=-1))
+        assert changed == q[bc.face_slicer(face, 3)].shape[0] * \
+            q[bc.face_slicer(face, 3)].shape[1]
+
+
+class TestPeriodicAxis:
+    def test_wrap_along_axis1(self):
+        arr = np.arange(5 * 9, dtype=float).reshape(5, 9)
+        arr[:, -1] = arr[:, 0]  # seam duplicated along axis 1
+        w = bc.wrap_periodic(arr, ghosts=2, axis=1)
+        assert w.shape == (5, 13)
+        assert np.allclose(bc.unwrap_periodic(w, 2, axis=1), arr)
+        # Ghosts replicate the periodic pre/post-seam layers.
+        assert np.allclose(w[:, 0], arr[:, 6])
+        assert np.allclose(w[:, -1], arr[:, 2])
+
+    def test_seam_average_axis1(self):
+        q = np.ones((4, 6, 4))
+        q[:, 0] *= 1.2
+        q[:, -1] *= 0.8
+        bc.apply_periodic_seam(q, axis=1)
+        assert np.allclose(q[:, 0], q[:, -1])
+        assert np.allclose(q[:, 0], 1.0)

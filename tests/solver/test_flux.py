@@ -1,0 +1,118 @@
+"""Tests for inviscid residuals: freestream preservation, dissipation."""
+
+import numpy as np
+import pytest
+
+from repro.grids.generators import airfoil_ogrid, cartesian_background
+from repro.grids.gridmetrics import metrics2d
+from repro.solver.flux import (
+    dissipation,
+    inviscid_residual,
+    physical_fluxes,
+    spectral_radii,
+)
+from repro.solver.state import FlowConfig, conservative, primitive
+
+
+def freestream_field(shape, mach=0.8, alpha=0.0):
+    cfg = FlowConfig(mach=mach, alpha=alpha)
+    return np.broadcast_to(cfg.freestream(), shape + (4,)).copy()
+
+
+class TestPhysicalFluxes:
+    def test_mass_flux(self):
+        q = conservative(2.0, 3.0, -1.0, 0.9)[None, None]
+        F, G = physical_fluxes(q, 1.4)
+        assert F[0, 0, 0] == pytest.approx(6.0)
+        assert G[0, 0, 0] == pytest.approx(-2.0)
+
+    def test_momentum_flux_includes_pressure(self):
+        q = conservative(1.0, 0.0, 0.0, 0.7)[None, None]
+        F, G = physical_fluxes(q, 1.4)
+        assert F[0, 0, 1] == pytest.approx(0.7)
+        assert G[0, 0, 2] == pytest.approx(0.7)
+
+    def test_energy_flux_zero_at_rest(self):
+        q = conservative(1.0, 0.0, 0.0, 0.7)[None, None]
+        F, G = physical_fluxes(q, 1.4)
+        assert F[0, 0, 3] == 0.0 and G[0, 0, 3] == 0.0
+
+
+class TestSpectralRadii:
+    def test_uniform_grid_values(self):
+        g = cartesian_background("bg", (0, 0), (9, 9), (10, 10))
+        m = metrics2d(g.xyz)
+        q = freestream_field(g.dims, mach=0.5, alpha=0.0)
+        lam_xi, lam_eta = spectral_radii(q, m, 1.4)
+        # dx = dy = 1: lam_xi = |u| + c = 0.5 + 1.0.
+        assert np.allclose(lam_xi, 1.5)
+        assert np.allclose(lam_eta, 1.0)
+
+    def test_radii_positive(self):
+        g = airfoil_ogrid("air", ni=61, nj=21)
+        from repro.solver.boundary import wrap_periodic
+
+        m = metrics2d(wrap_periodic(g.xyz))
+        q = freestream_field((g.dims[0] + 4, g.dims[1]))
+        lam_xi, lam_eta = spectral_radii(q, m, 1.4)
+        assert (lam_xi > 0).all() and (lam_eta > 0).all()
+
+
+class TestFreestreamPreservation:
+    """Uniform flow must produce (near-)zero residual on any untangled
+    grid — the discrete metric identity (see flux.py docstring)."""
+
+    def test_uniform_grid(self):
+        g = cartesian_background("bg", (0, 0), (4, 4), (20, 20))
+        m = metrics2d(g.xyz)
+        q = freestream_field(g.dims, mach=0.8, alpha=0.1)
+        r = inviscid_residual(q, m, 1.4, k2=0.5, k4=0.016)
+        assert np.abs(r).max() < 1e-12
+
+    def test_curvilinear_interior(self):
+        g = airfoil_ogrid("air", ni=81, nj=31)
+        m = metrics2d(g.xyz)
+        q = freestream_field(g.dims, mach=0.8)
+        r = inviscid_residual(q, m, 1.4, k2=0.5, k4=0.016)
+        # Interior nodes: exact commutation of central differences.
+        assert np.abs(r[2:-2, 2:-2]).max() < 1e-10
+
+    def test_stretched_grid_interior(self):
+        x = np.cumsum(np.linspace(0.1, 1.0, 30))
+        y = np.cumsum(np.linspace(0.05, 0.5, 25))
+        xm, ym = np.meshgrid(x, y, indexing="ij")
+        xyz = np.ascontiguousarray(np.stack([xm, ym], axis=-1))
+        m = metrics2d(xyz)
+        q = freestream_field((30, 25), mach=0.3, alpha=0.7)
+        r = inviscid_residual(q, m, 1.4, k2=0.5, k4=0.016)
+        assert np.abs(r[2:-2, 2:-2]).max() < 1e-10
+
+
+class TestDissipation:
+    def test_zero_on_uniform_state(self):
+        q = freestream_field((12, 12))
+        p = np.full((12, 12), 1.0 / 1.4)
+        lam = np.ones((12, 12))
+        d = dissipation(q, p, lam, axis=0, k2=0.5, k4=0.016)
+        assert np.abs(d).max() < 1e-14
+
+    def test_damps_oscillations(self):
+        """Dissipation must oppose a sawtooth: D has the opposite sign
+        of the high-frequency component."""
+        q = freestream_field((16, 4))
+        saw = np.where(np.arange(16) % 2 == 0, 1e-3, -1e-3)
+        q[..., 0] += saw[:, None]
+        p = np.full((16, 4), 1.0 / 1.4)
+        lam = np.ones((16, 4))
+        d = dissipation(q, p, lam, axis=0, k2=0.0, k4=0.016)
+        # residual -= d, dq/dt = -residual: dq/dt has the sign of d.
+        interior = slice(3, -3)
+        assert np.all(d[interior, :, 0] * saw[interior, None] < 0)
+
+    def test_short_direction_no_crash(self):
+        q = freestream_field((3, 8))
+        p = np.full((3, 8), 1.0 / 1.4)
+        lam = np.ones((3, 8))
+        d = dissipation(q, p, lam, axis=0, k2=0.5, k4=0.016)
+        assert d.shape == q.shape
+        assert np.all(d == 0)  # too short for the stencil

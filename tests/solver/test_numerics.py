@@ -1,0 +1,88 @@
+"""Tests for the tridiagonal solver and difference kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.solver.numerics import diff_central, second_difference, tridiag_solve
+
+
+class TestTridiag:
+    def test_identity_system(self):
+        d = np.array([1.0, 2.0, 3.0])
+        x = tridiag_solve(np.zeros(3), np.ones(3), np.zeros(3), d)
+        assert np.allclose(x, d)
+
+    def test_against_dense_solve(self):
+        rng = np.random.default_rng(0)
+        n = 12
+        a = rng.uniform(-0.3, 0.3, n)
+        c = rng.uniform(-0.3, 0.3, n)
+        b = 1.0 + np.abs(a) + np.abs(c)  # diagonally dominant
+        d = rng.normal(size=n)
+        A = np.diag(b) + np.diag(a[1:], -1) + np.diag(c[:-1], 1)
+        assert np.allclose(tridiag_solve(a, b, c, d), np.linalg.solve(A, d))
+
+    def test_batched(self):
+        rng = np.random.default_rng(1)
+        shape = (5, 7, 10)
+        a = rng.uniform(-0.2, 0.2, shape)
+        c = rng.uniform(-0.2, 0.2, shape)
+        b = 1.5 + np.abs(a) + np.abs(c)
+        d = rng.normal(size=shape)
+        x = tridiag_solve(a, b, c, d)
+        # Verify each system independently.
+        for i in range(5):
+            for j in range(7):
+                A = (
+                    np.diag(b[i, j])
+                    + np.diag(a[i, j, 1:], -1)
+                    + np.diag(c[i, j, :-1], 1)
+                )
+                assert np.allclose(x[i, j], np.linalg.solve(A, d[i, j]))
+
+    def test_n_equals_one(self):
+        x = tridiag_solve(
+            np.zeros(1), np.array([2.0]), np.zeros(1), np.array([6.0])
+        )
+        assert np.allclose(x, [3.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(arrays(np.float64, 8,
+                  elements=st.floats(min_value=-1, max_value=1)))
+    def test_residual_property(self, off):
+        """A x == d for diagonally dominant random systems."""
+        a = np.concatenate([[0.0], off[:-1]])
+        c = np.concatenate([off[1:], [0.0]])
+        b = 2.5 + np.abs(a) + np.abs(c)
+        d = off * 3.0 + 1.0
+        x = tridiag_solve(a, b, c, d)
+        res = b * x
+        res[1:] += a[1:] * x[:-1]
+        res[:-1] += c[:-1] * x[1:]
+        assert np.allclose(res, d, atol=1e-10)
+
+
+class TestDifferences:
+    def test_central_on_linear_is_exact(self):
+        f = 3.0 * np.arange(10.0) + 1.0
+        assert np.allclose(diff_central(f, 0), 3.0)
+
+    def test_central_axis_selection(self):
+        f = np.outer(np.arange(5.0), np.ones(4)) + np.outer(
+            np.ones(5), 2.0 * np.arange(4.0)
+        )
+        assert np.allclose(diff_central(f, 0), 1.0)
+        assert np.allclose(diff_central(f, 1), 2.0)
+
+    def test_second_difference_of_quadratic(self):
+        f = np.arange(8.0) ** 2
+        d2 = second_difference(f, 0)
+        assert np.allclose(d2[1:-1], 2.0)
+        assert d2[0] == 0.0 and d2[-1] == 0.0
+
+    def test_second_difference_of_linear_is_zero(self):
+        f = 5.0 * np.arange(9.0)
+        assert np.allclose(second_difference(f, 0), 0.0)

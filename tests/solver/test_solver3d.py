@@ -1,0 +1,154 @@
+"""Integration tests for the 3-D flow solver."""
+
+import numpy as np
+import pytest
+
+from repro.grids.generators import (
+    body_of_revolution_grid,
+    cartesian_background,
+    extruded_wing_grid,
+)
+from repro.solver import FlowConfig, Solver3D
+from repro.solver.flux3d import (
+    inviscid_residual3d,
+    physical_fluxes3d,
+    spectral_radii3d,
+)
+from repro.grids.gridmetrics3d import metrics3d
+from repro.solver.state import conservative3d, primitive3d
+
+
+def freestream_field(shape, mach=0.8, alpha=0.0):
+    cfg = FlowConfig(mach=mach, alpha=alpha)
+    return np.broadcast_to(cfg.freestream3d(), shape + (5,)).copy()
+
+
+class TestState3D:
+    def test_roundtrip(self):
+        q = conservative3d(1.3, 0.2, -0.4, 0.6, 0.8)
+        rho, u, v, w, p = primitive3d(q)
+        assert rho == pytest.approx(1.3)
+        assert w == pytest.approx(0.6)
+        assert p == pytest.approx(0.8)
+
+    def test_freestream3d_sound_speed_one(self):
+        cfg = FlowConfig(mach=0.8)
+        q = cfg.freestream3d()
+        rho, u, v, w, p = primitive3d(q)
+        assert np.sqrt(1.4 * p / rho) == pytest.approx(1.0)
+        assert np.sqrt(u * u + v * v + w * w) == pytest.approx(0.8)
+
+
+class TestFlux3D:
+    def test_mass_momentum_fluxes(self):
+        q = conservative3d(2.0, 1.0, 0.0, 0.5, 0.7)[None, None, None]
+        F, G, H = physical_fluxes3d(q, 1.4)
+        assert F[0, 0, 0, 0] == pytest.approx(2.0)   # rho u
+        assert H[0, 0, 0, 0] == pytest.approx(1.0)   # rho w
+        assert F[0, 0, 0, 1] == pytest.approx(2.0 + 0.7)  # rho u^2 + p
+
+    def test_spectral_radii_uniform(self):
+        g = cartesian_background("bg", (0, 0, 0), (7, 7, 7), (8, 8, 8))
+        m = metrics3d(g.xyz)
+        q = freestream_field(g.dims, mach=0.5)
+        lam = spectral_radii3d(q, m, 1.4)
+        # Unit spacing: J = 1, |grad xi| = 1 -> lam_xi = |u| + c = 1.5.
+        assert np.allclose(lam[0], 1.5)
+        assert np.allclose(lam[1], 1.0)
+
+    def test_freestream_preserved_curvilinear(self):
+        """The GCL metrics make uniform flow an exact discrete steady
+        state even on the store body grid."""
+        g = body_of_revolution_grid("s", ni=21, nj=17, nk=9)
+        m = metrics3d(g.xyz)
+        q = freestream_field(g.dims, mach=0.8, alpha=0.15)
+        r = inviscid_residual3d(q, m, 1.4, k2=0.5, k4=0.016)
+        assert np.abs(r).max() < 1e-11
+
+
+class TestSolver3D:
+    def test_rejects_2d_grid(self):
+        g = cartesian_background("bg", (0, 0), (1, 1), (5, 5))
+        with pytest.raises(ValueError, match="3-D"):
+            Solver3D(g, FlowConfig())
+
+    def test_rejects_turbulent_grid(self):
+        g = body_of_revolution_grid("s", ni=15, nj=13, nk=7,
+                                    turbulence=True)
+        with pytest.raises(NotImplementedError):
+            Solver3D(g, FlowConfig())
+
+    def test_background_holds_freestream(self):
+        bg = cartesian_background("bg", (0, 0, 0), (4, 4, 4), (10, 10, 10))
+        s = Solver3D(bg, FlowConfig(mach=0.8, alpha=0.1, cfl=3.0))
+        q0 = s.q.copy()
+        for _ in range(3):
+            s.step()
+        assert np.allclose(s.q, q0, atol=1e-12)
+
+    def test_store_body_run_stable(self):
+        bor = body_of_revolution_grid("store", ni=25, nj=17, nk=11,
+                                      viscous=False)
+        s = Solver3D(bor, FlowConfig(mach=0.6, cfl=1.5))
+        for _ in range(8):
+            s.step()
+        rho, _, _, _, p = primitive3d(s.q)
+        assert rho.min() > 0 and p.min() > 0
+
+    def test_axisymmetric_forces_symmetric(self):
+        bor = body_of_revolution_grid("store", ni=25, nj=17, nk=11,
+                                      viscous=False)
+        s = Solver3D(bor, FlowConfig(mach=0.6, alpha=0.0, cfl=1.5))
+        for _ in range(8):
+            s.step()
+        f = s.surface_forces()
+        # Side forces vanish by symmetry; axial force finite.
+        assert abs(f["fy"]) < 1e-3
+        assert abs(f["fz"]) < 1e-3
+        assert np.isfinite(f["fx"])
+
+    def test_viscous_noslip(self):
+        bor = body_of_revolution_grid("store", ni=21, nj=13, nk=9,
+                                      viscous=True)
+        s = Solver3D(bor, FlowConfig(mach=0.5, reynolds=1e4, cfl=1.0))
+        for _ in range(5):
+            s.step()
+        # kmin is the wall for the store body.
+        _, u, v, w, _ = primitive3d(s.q[:, :, 0])
+        assert np.abs(u).max() < 1e-12
+        assert np.abs(w).max() < 1e-12
+
+    def test_wing_grid_runs(self):
+        wing = extruded_wing_grid("w", ni=33, nj=9, nk=7, viscous=False,
+                                  symmetry_root=True)
+        s = Solver3D(wing, FlowConfig(mach=0.5, cfl=1.0))
+        for _ in range(4):
+            s.step()
+        rho, _, _, _, p = primitive3d(s.q)
+        assert rho.min() > 0 and p.min() > 0
+
+    def test_iblank_and_fringe(self):
+        bg = cartesian_background("bg", (0, 0, 0), (4, 4, 4), (9, 9, 9))
+        s = Solver3D(bg, FlowConfig(mach=0.8))
+        ib = np.ones((9, 9, 9), dtype=np.int8)
+        ib[4, 4, 4] = 0
+        s.set_iblank(ib)
+        s.step()
+        assert np.allclose(s.q[4, 4, 4], s._frozen)
+        vals = (s.qinf * 1.1)[None, :]
+        s.set_fringe(np.array([7]), vals)
+        assert np.allclose(s.q.reshape(-1, 5)[7], s.qinf * 1.1)
+
+    def test_move_to_translation_keeps_metrics(self):
+        bor = body_of_revolution_grid("store", ni=17, nj=13, nk=7,
+                                      viscous=False)
+        s = Solver3D(bor, FlowConfig(mach=0.5))
+        j0 = s.metrics.jac.copy()
+        s.move_to(bor.xyz + np.array([0.0, -0.5, 0.0]))
+        assert np.allclose(s.metrics.jac, j0)
+
+    def test_forces_require_wall(self):
+        bg = cartesian_background("bg", (0, 0, 0), (1, 1, 1), (5, 5, 5))
+        s = Solver3D(bg, FlowConfig())
+        with pytest.raises(ValueError, match="no wall"):
+            s.surface_forces()

@@ -1,0 +1,89 @@
+"""Tests for the flow state and gas model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.solver.state import (
+    FlowConfig,
+    GasModel,
+    conservative,
+    primitive,
+    sanity_check,
+)
+
+
+class TestGasModel:
+    def test_pressure_roundtrip(self):
+        q = conservative(1.2, 0.5, -0.3, 0.9)
+        assert GasModel().pressure(q) == pytest.approx(0.9)
+
+    def test_sound_speed_freestream(self):
+        """With rho_inf = c_inf = 1, p_inf = 1/gamma gives c = 1."""
+        cfg = FlowConfig(mach=0.8)
+        qinf = cfg.freestream()
+        assert cfg.gas.sound_speed(qinf) == pytest.approx(1.0)
+
+    def test_temperature_freestream_is_one(self):
+        cfg = FlowConfig(mach=0.3)
+        assert cfg.gas.temperature(cfg.freestream()) == pytest.approx(1.0)
+
+
+class TestFreestream:
+    def test_mach_and_alpha(self):
+        cfg = FlowConfig(mach=0.8, alpha=np.deg2rad(5.0))
+        q = cfg.freestream()
+        rho, u, v, p = primitive(q)
+        assert rho == pytest.approx(1.0)
+        assert np.hypot(u, v) == pytest.approx(0.8)
+        assert np.arctan2(v, u) == pytest.approx(np.deg2rad(5.0))
+        assert p == pytest.approx(1.0 / 1.4)
+
+    def test_oscillating_airfoil_conditions(self):
+        """The paper's case 4.1: M = 0.8, alpha(t) = 5 deg * sin(wt)."""
+        alpha0 = np.deg2rad(5.0)
+        cfg = FlowConfig(mach=0.8, alpha=alpha0 * np.sin(np.pi / 4))
+        q = cfg.freestream()
+        _, u, v, _ = primitive(q)
+        assert np.hypot(u, v) == pytest.approx(0.8)
+
+
+vals = st.floats(min_value=0.1, max_value=10.0)
+
+
+class TestConversions:
+    @given(vals, st.floats(-3, 3), st.floats(-3, 3), vals)
+    def test_roundtrip(self, rho, u, v, p):
+        q = conservative(rho, u, v, p)
+        r2, u2, v2, p2 = primitive(q)
+        assert r2 == pytest.approx(rho)
+        assert u2 == pytest.approx(u)
+        assert v2 == pytest.approx(v)
+        assert p2 == pytest.approx(p, rel=1e-9, abs=1e-12)
+
+    def test_array_broadcast(self):
+        rho = np.ones((3, 4))
+        q = conservative(rho, 0.5, 0.0, 1.0 / 1.4)
+        assert q.shape == (3, 4, 4)
+
+
+class TestSanityCheck:
+    def test_accepts_valid(self):
+        sanity_check(conservative(1.0, 0.1, 0.0, 0.7))
+
+    def test_rejects_nan(self):
+        q = conservative(1.0, 0.1, 0.0, 0.7)
+        q[0] = np.nan
+        with pytest.raises(FloatingPointError, match="non-finite"):
+            sanity_check(q)
+
+    def test_rejects_negative_density(self):
+        q = conservative(np.array([1.0, -0.5]), 0.0, 0.0, 0.7)
+        with pytest.raises(FloatingPointError, match="density"):
+            sanity_check(q)
+
+    def test_rejects_negative_pressure(self):
+        q = conservative(1.0, 0.0, 0.0, np.array([0.5, -0.1]))
+        with pytest.raises(FloatingPointError, match="pressure"):
+            sanity_check(q)

@@ -1,0 +1,147 @@
+"""Tests for viscous fluxes and the Baldwin-Lomax model."""
+
+import numpy as np
+import pytest
+
+from repro.grids.generators import cartesian_background
+from repro.grids.gridmetrics import metrics2d
+from repro.solver.state import FlowConfig, conservative
+from repro.solver.turbulence import baldwin_lomax, vorticity, wall_distance
+from repro.solver.viscous import laminar_viscosity, viscous_residual
+
+
+def shear_layer(ni=12, nj=24, umax=0.5):
+    """Couette-like state: u varies linearly with y, wall at j=0."""
+    g = cartesian_background("bg", (0.0, 0.0), (1.0, 1.0), (ni, nj))
+    m = metrics2d(g.xyz)
+    y = g.xyz[..., 1]
+    u = umax * y
+    q = conservative(np.ones_like(y), u, np.zeros_like(y), 1.0 / 1.4)
+    return g, m, q
+
+
+class TestLaminarViscosity:
+    def test_value(self):
+        assert laminar_viscosity(0.8, 1e6) == pytest.approx(8e-7)
+
+    def test_invalid_reynolds(self):
+        with pytest.raises(ValueError):
+            laminar_viscosity(0.8, 0.0)
+
+
+class TestViscousResidual:
+    def test_zero_for_uniform_flow(self):
+        g = cartesian_background("bg", (0, 0), (1, 1), (10, 10))
+        m = metrics2d(g.xyz)
+        q = np.broadcast_to(
+            FlowConfig(mach=0.5).freestream(), (10, 10, 4)
+        ).copy()
+        v = viscous_residual(q, m, 1.4, 0.72, mu_laminar=1e-3)
+        assert np.abs(v).max() < 1e-14
+
+    def test_zero_for_linear_shear(self):
+        """Constant shear has zero second derivative: interior residual
+        vanishes (momentum)."""
+        _, m, q = shear_layer()
+        v = viscous_residual(q, m, 1.4, 0.72, mu_laminar=1e-3)
+        assert np.abs(v[:, 2:-2, 1]).max() < 1e-12
+
+    def test_diffuses_velocity_bump(self):
+        """A velocity bump must produce a residual that flattens it:
+        V > 0 below the peak of -u'' ... sign: dQ/dt ~ +V."""
+        g = cartesian_background("bg", (0, 0), (5, 19), (6, 20))
+        m = metrics2d(g.xyz)
+        y = g.xyz[..., 1]
+        u = np.exp(-((y - 10.0) ** 2))
+        q = conservative(np.ones_like(y), u, np.zeros_like(y), 1.0 / 1.4)
+        v = viscous_residual(q, m, 1.4, 0.72, mu_laminar=1.0)
+        j_peak = 10
+        assert v[3, j_peak, 1] < 0  # peak is eroded
+        assert v[3, j_peak - 3, 1] > 0  # shoulders fill in
+
+    def test_no_mass_diffusion(self):
+        _, m, q = shear_layer()
+        v = viscous_residual(q, m, 1.4, 0.72, mu_laminar=1e-2)
+        assert np.abs(v[..., 0]).max() == 0.0
+
+    def test_eddy_viscosity_increases_flux(self):
+        g = cartesian_background("bg", (0, 0), (5, 19), (6, 20))
+        m = metrics2d(g.xyz)
+        y = g.xyz[..., 1]
+        u = np.exp(-((y - 10.0) ** 2))
+        q = conservative(np.ones_like(y), u, np.zeros_like(y), 1.0 / 1.4)
+        v_lam = viscous_residual(q, m, 1.4, 0.72, 1e-3)
+        v_turb = viscous_residual(
+            q, m, 1.4, 0.72, 1e-3, mu_turbulent=np.full((6, 20), 1e-3)
+        )
+        assert np.abs(v_turb[..., 1]).max() > 1.5 * np.abs(v_lam[..., 1]).max()
+
+
+class TestWallDistance:
+    def test_uniform_grid(self):
+        g = cartesian_background("bg", (0, 0), (1, 2), (5, 9))
+        y = wall_distance(g.xyz)
+        assert np.allclose(y[:, 0], 0.0)
+        assert np.allclose(y[:, -1], 2.0)
+
+    def test_monotone(self):
+        g = cartesian_background("bg", (0, 0), (1, 1), (5, 9))
+        y = wall_distance(g.xyz)
+        assert (np.diff(y, axis=1) > 0).all()
+
+
+class TestVorticity:
+    def test_shear_flow_vorticity(self):
+        _, m, q = shear_layer(umax=0.5)
+        om = vorticity(q, m, 1.4)
+        # du/dy = 0.5 / 23 per unit spacing... y spans [0,1] over 24 pts:
+        # u = 0.5*y with y in grid units [0, 23] -> du/dy = 0.5.
+        assert np.allclose(om[2:-2, 2:-2], 0.5, rtol=1e-6)
+
+    def test_uniform_flow_zero(self):
+        g = cartesian_background("bg", (0, 0), (1, 1), (8, 8))
+        m = metrics2d(g.xyz)
+        q = np.broadcast_to(FlowConfig(0.8).freestream(), (8, 8, 4)).copy()
+        assert np.abs(vorticity(q, m, 1.4)).max() < 1e-14
+
+
+class TestBaldwinLomax:
+    def make_boundary_layer(self, ni=8, nj=40):
+        g = cartesian_background("bg", (0.0, 0.0), (1.0, 0.2), (ni, nj))
+        y = g.xyz[..., 1]
+        delta = 0.05
+        u = 0.5 * np.tanh(y / delta)
+        q = conservative(np.ones_like(y), u, np.zeros_like(y), 1.0 / 1.4)
+        m = metrics2d(g.xyz)
+        return g, m, q
+
+    def test_nonnegative(self):
+        g, m, q = self.make_boundary_layer()
+        mut = baldwin_lomax(q, g.xyz, m, 1.4, mu_laminar=1e-5)
+        assert (mut >= 0).all()
+
+    def test_zero_at_wall(self):
+        g, m, q = self.make_boundary_layer()
+        mut = baldwin_lomax(q, g.xyz, m, 1.4, mu_laminar=1e-5)
+        assert np.allclose(mut[:, 0], 0.0, atol=1e-12)
+
+    def test_small_in_freestream(self):
+        """Outside the layer vorticity ~ 0 and F_kleb cuts off: eddy
+        viscosity decays far from the wall."""
+        g, m, q = self.make_boundary_layer()
+        mut = baldwin_lomax(q, g.xyz, m, 1.4, mu_laminar=1e-5)
+        assert mut[:, -1].max() < 0.1 * mut.max()
+
+    def test_peak_inside_layer(self):
+        g, m, q = self.make_boundary_layer()
+        mut = baldwin_lomax(q, g.xyz, m, 1.4, mu_laminar=1e-5)
+        j_peak = np.argmax(mut[4])
+        y_peak = g.xyz[4, j_peak, 1]
+        assert 0.0 < y_peak < 0.15
+
+    def test_no_shear_no_eddy_viscosity(self):
+        g = cartesian_background("bg", (0, 0), (1, 0.2), (8, 20))
+        m = metrics2d(g.xyz)
+        q = np.broadcast_to(FlowConfig(0.5).freestream(), (8, 20, 4)).copy()
+        mut = baldwin_lomax(q, g.xyz, m, 1.4, mu_laminar=1e-5)
+        assert mut.max() < 1e-10

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import math
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "airfoil" in out and "sp2" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "airfoil"])
+        assert args.machine == "sp2"
+        assert args.nodes == 12
+        assert math.isinf(args.f0)
+
+
+class TestRun:
+    def test_run_airfoil_small(self, capsys):
+        rc = main([
+            "run", "airfoil", "--nodes", "4", "--scale", "0.05",
+            "--steps", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "time/step" in out
+        assert "DCF3D" in out
+
+    def test_unknown_case(self):
+        with pytest.raises(SystemExit, match="unknown case"):
+            main(["run", "bogus", "--nodes", "4"])
+
+    def test_unknown_machine(self):
+        with pytest.raises(SystemExit, match="unknown machine"):
+            main(["run", "airfoil", "--machine", "cray-3"])
+
+    def test_dynamic_f0(self, capsys):
+        rc = main([
+            "run", "airfoil", "--nodes", "6", "--scale", "0.05",
+            "--steps", "4", "--f0", "5",
+        ])
+        assert rc == 0
+        assert "f0=5.0" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_produces_table(self, capsys):
+        rc = main([
+            "sweep", "airfoil", "--nodes", "3,6", "--scale", "0.05",
+            "--steps", "2", "--csv",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "nodes,gridpoints/node" in out.replace(" ", "") or "nodes," in out
+
+
+class TestPhysics:
+    def test_physics_runs(self, capsys):
+        rc = main(["physics", "--scale", "0.04", "--steps", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "forces:" in out

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert out.returncode == 0, f"{name} failed:\n{out.stderr[-2000:]}"
+    return out.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        stdout = run_example("quickstart.py")
+        assert "Initial connectivity" in stdout
+        assert "surface forces" in stdout.lower()
+
+    def test_parallel_speedup_small(self):
+        stdout = run_example("parallel_speedup.py", "0.05")
+        assert "IBM SP2" in stdout
+        assert "IBM SP" in stdout
+        assert "speedup" in stdout
+
+    def test_store_separation_small(self):
+        stdout = run_example("store_separation.py", "0.03", "20")
+        assert "Store trajectory" in stdout
+        assert "static" in stdout and "dynamic" in stdout
+
+    def test_adaptive_cartesian(self):
+        stdout = run_example("adaptive_cartesian.py")
+        assert "Algorithm-3 grouping" in stdout
+        assert "searches avoided" in stdout
+
+    def test_store_drop_3d(self):
+        stdout = run_example("store_drop_3d.py")
+        assert "Initial connectivity" in stdout
+        assert "restart hit rate" in stdout
+
+    def test_plot_figures(self, tmp_path):
+        # Build one figure CSV so the renderer has input.
+        csv = (
+            "nodes,gridpoints/node,mflops/node,speedup,speedup_overflow,"
+            "speedup_dcf3d,%dcf3d,time/step(s)\n"
+            "6,100,20,1.0,1.0,1.0,10,0.5\n"
+            "12,50,20,1.9,2.0,1.4,12,0.26\n"
+        )
+        (tmp_path / "figure5_sp2.csv").write_text(csv)
+        stdout = run_example("plot_figures.py", str(tmp_path))
+        assert "Fig. 5" in stdout
+        assert "processors" in stdout
