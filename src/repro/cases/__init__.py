@@ -21,7 +21,7 @@ scaling the fringe depth; see each module's notes).
 from repro.cases.airfoil import airfoil_case, airfoil_grids
 from repro.cases.deltawing import deltawing_case, deltawing_grids
 from repro.cases.store import store_case, store_grids
-from repro.cases.x38 import x38_adaptive_system, x38_near_body_grids
+from repro.cases.x38 import x38_adaptive_system, x38_case, x38_near_body_grids
 
 __all__ = [
     "airfoil_case",
@@ -30,6 +30,7 @@ __all__ = [
     "deltawing_grids",
     "store_case",
     "store_grids",
+    "x38_case",
     "x38_near_body_grids",
     "x38_adaptive_system",
 ]

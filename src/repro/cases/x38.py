@@ -14,9 +14,16 @@ from __future__ import annotations
 import math
 
 from repro.adapt.manager import AdaptiveSystem
+from repro.core.config import CaseConfig
 from repro.grids.bbox import AABB
 from repro.grids.generators import body_of_revolution_grid, fin_grid
 from repro.grids.structured import CurvilinearGrid
+from repro.machine.spec import MachineSpec, sp
+
+#: Search hierarchy for the near-body cluster: each fin interpolates
+#: from the body grid it is embedded in; the body closes its fringe
+#: from the fins where they overlap.
+X38_SEARCH_LISTS = {0: [1, 2], 1: [0], 2: [0]}
 
 
 def x38_near_body_grids(scale: float = 1.0) -> list[CurvilinearGrid]:
@@ -42,6 +49,39 @@ def x38_near_body_grids(scale: float = 1.0) -> list[CurvilinearGrid]:
         for k, sgn in enumerate((1.0, -1.0))
     ]
     return [body] + fins
+
+
+def x38_case(
+    machine: MachineSpec | None = None,
+    scale: float = 1.0,
+    nsteps: int = 5,
+    f0: float = math.inf,
+) -> CaseConfig:
+    """The near-body X-38 cluster as an OVERFLOW-D1 performance case.
+
+    The section-5 adaptive machinery exercises the off-body Cartesian
+    bricks separately (:func:`x38_adaptive_system`); this builder wraps
+    the same near-body curvilinear cluster in a :class:`CaseConfig` so
+    the re-entry configuration can run through the standard driver (and
+    the ``repro run`` / ``repro trace`` CLI) alongside the section-4
+    cases.  The vehicle is rigid and holds attitude — connectivity is
+    re-solved every step from fully warm restarts, the cheapest steady
+    regime, which makes it a good observability baseline.
+    """
+    if machine is None:
+        machine = sp(nodes=8)
+    grids = x38_near_body_grids(scale)
+    return CaseConfig(
+        name="X-38 near-body cluster",
+        grids=grids,
+        machine=machine,
+        search_lists=X38_SEARCH_LISTS,
+        motions={},
+        nsteps=nsteps,
+        dt=0.01,
+        f0=f0,
+        fringe_layers=1,
+    )
 
 
 def x38_adaptive_system(

@@ -5,12 +5,16 @@ Usage (installed as ``python -m repro``):
     python -m repro list
     python -m repro run airfoil --machine sp2 --nodes 12 --scale 0.5 --steps 5
     python -m repro sweep store --machine sp2 --nodes 16,28,52 --scale 0.1
+    python -m repro trace airfoil --nodes 8 --scale 0.1 --steps 4
     python -m repro physics --scale 0.05 --steps 20
 
 ``run`` executes one OVERFLOW-D1 simulation and prints the paper's
 per-run statistics; ``sweep`` produces a Table-1-style speedup table
-over several node counts; ``physics`` runs the real coupled 2-D solver
-on the oscillating-airfoil system.
+over several node counts; ``trace`` runs one simulation with per-rank
+span tracing enabled and dumps a Chrome ``trace_event`` JSON, a CSV
+rollup and an ASCII per-rank timeline (see docs/observability.md);
+``physics`` runs the real coupled 2-D solver on the oscillating-airfoil
+system.
 """
 
 from __future__ import annotations
@@ -18,8 +22,9 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from pathlib import Path
 
-from repro.cases import airfoil_case, deltawing_case, store_case
+from repro.cases import airfoil_case, deltawing_case, store_case, x38_case
 from repro.core import OverflowD1, speedup_table
 from repro.machine import MACHINE_PRESETS
 
@@ -27,7 +32,10 @@ CASES = {
     "airfoil": airfoil_case,
     "deltawing": deltawing_case,
     "store": store_case,
+    "x38": x38_case,
 }
+
+DEFAULT_TRACE_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
 
 
 def _machine(name: str, nodes: int):
@@ -92,6 +100,47 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        SpanTracer,
+        ascii_timeline,
+        write_chrome_trace,
+        write_rollup_csv,
+    )
+
+    machine = _machine(args.machine, args.nodes)
+    cfg = _case(args.case, machine, args.scale, args.steps, args.f0)
+    print(
+        f"{cfg.name}: {cfg.total_gridpoints} points, {len(cfg.grids)} "
+        f"grids, {machine.name} x {machine.nodes} nodes, tracing enabled"
+    )
+    tracer = SpanTracer()
+    run = OverflowD1(cfg, tracer=tracer).run()
+
+    rollup = run.rollup()
+    igbp = run.igbp_rollup()
+    out_dir = Path(args.out)
+    trace_path = write_chrome_trace(tracer, out_dir / f"trace_{args.case}.json")
+    csv_path = write_rollup_csv(
+        rollup, out_dir / f"trace_{args.case}_rollup.csv"
+    )
+
+    print(f"\n{len(tracer.ops)} span events over {run.elapsed:.4f} "
+          f"virtual s ({run.nsteps} steps, {len(run.epochs)} epochs)")
+    print(rollup.format_breakdown())
+    ig = igbp.summary()
+    print(f"\nI(p) over the last window: {ig['I']}")
+    print(f"Ibar = {ig['ibar']:.2f}, max f(p) = {ig['f_max']:.3f}")
+    for step, procs in run.partition_history:
+        print(f"partition from step {step}: {procs}")
+    if not args.no_timeline:
+        print()
+        print(ascii_timeline(tracer, width=args.width))
+    print(f"\nwrote {trace_path}  (load in chrome://tracing or Perfetto)")
+    print(f"wrote {csv_path}")
+    return 0
+
+
 def cmd_physics(args) -> int:
     from repro.cases.airfoil import AIRFOIL_SEARCH_LISTS, airfoil_grids
     from repro.core import Overset2D
@@ -136,7 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     def common(sp):
-        sp.add_argument("case", help="airfoil | deltawing | store")
+        sp.add_argument("case", help="airfoil | deltawing | store | x38")
         sp.add_argument("--machine", default="sp2")
         sp.add_argument("--scale", type=float, default=0.1)
         sp.add_argument("--steps", type=int, default=5)
@@ -154,6 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", action="store_true",
                        help="also print the CSV series")
     sweep.set_defaults(fn=cmd_sweep)
+
+    trace = sub.add_parser(
+        "trace",
+        help="one traced run: Chrome trace JSON + rollup CSV + timeline",
+    )
+    common(trace)
+    trace.add_argument("--nodes", type=int, default=8)
+    trace.add_argument("--out", default=str(DEFAULT_TRACE_DIR),
+                       help="output directory for trace/rollup files")
+    trace.add_argument("--width", type=int, default=72,
+                       help="ASCII timeline width in characters")
+    trace.add_argument("--no-timeline", action="store_true",
+                       help="skip the ASCII timeline")
+    trace.set_defaults(fn=cmd_trace)
 
     phys = sub.add_parser("physics", help="real coupled 2-D solve")
     phys.add_argument("--scale", type=float, default=0.05)

@@ -76,6 +76,59 @@ def line_chart(
     return "\n".join(lines)
 
 
+def timeline_chart(
+    spans_by_rank: dict[int, list[tuple[float, float, str]]],
+    t_end: float | None = None,
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Render per-rank labelled spans as a one-row-per-rank timeline.
+
+    ``spans_by_rank`` maps rank -> [(t0, t1, label), ...]; each row is
+    sampled at ``width`` uniform slots and shows the label occupying the
+    slot's midpoint (blank = no recorded activity, i.e. the rank had
+    already finished).  Labels are assigned single characters in
+    first-seen order — the legend underneath decodes them.
+    """
+    if not spans_by_rank or all(not s for s in spans_by_rank.values()):
+        raise ValueError("no spans to plot")
+    if t_end is None:
+        t_end = max(
+            t1 for spans in spans_by_rank.values() for _, t1, _ in spans
+        )
+    if t_end <= 0:
+        t_end = 1.0
+
+    # Stable label -> marker assignment (first seen, across all ranks in
+    # rank order so the legend is deterministic).
+    markers: dict[str, str] = {}
+    palette = "FMCDABEGHIJKLNOPQRSTUVWXYZ*#@+%"
+    for rank in sorted(spans_by_rank):
+        for _, _, label in spans_by_rank[rank]:
+            if label not in markers:
+                markers[label] = palette[len(markers) % len(palette)]
+
+    lines = []
+    if title:
+        lines.append(title)
+    for rank in sorted(spans_by_rank):
+        spans = spans_by_rank[rank]
+        row = [" "] * width
+        for col in range(width):
+            t = (col + 0.5) / width * t_end
+            for t0, t1, label in spans:
+                if t0 <= t < t1:
+                    row[col] = markers[label]
+                    break
+        lines.append(f"rank {rank:>3d} |" + "".join(row) + "|")
+    lines.append(" " * 9 + f"0{'':{max(0, width - 10)}s}{t_end:>9.4g}s")
+    lines.append(
+        " " * 9
+        + "   ".join(f"{mk}={label}" for label, mk in markers.items())
+    )
+    return "\n".join(lines)
+
+
 def speedup_chart(table_rows: list[dict], title: str = "") -> str:
     """Chart a :class:`repro.core.performance.PerformanceTable`'s rows
     in the layout of the paper's speedup figures: OVERFLOW, DCF3D and

@@ -35,6 +35,7 @@ from repro.connectivity.igbp import find_igbps
 from repro.connectivity.restart import RestartCache
 from repro.core.config import CaseConfig
 from repro.machine.scheduler import Simulator
+from repro.obs.rollup import IgbpRollup, PhaseRollup
 from repro.partition.assignment import Partition, build_partition
 from repro.partition.dynamic_lb import DynamicRebalancer
 
@@ -58,18 +59,39 @@ class StepStats:
 
 @dataclass
 class EpochResult:
-    """One contiguous run at a fixed partition."""
+    """One contiguous run at a fixed partition.
+
+    All timing/counter data lives in the two :mod:`repro.obs` rollups;
+    the former ad-hoc dict/array fields survive as derived properties.
+    """
 
     partition: Partition
     first_step: int
     nsteps: int
     elapsed: float
-    phase_totals: dict      # phase -> summed rank-seconds
-    phase_max: dict         # phase -> max single-rank seconds
-    total_flops: float
-    igbp_per_rank_step: np.ndarray  # (nsteps, nprocs) I(p)
+    rollup: PhaseRollup     # per-rank/per-phase compute/comm/wait + flops
+    igbp: IgbpRollup        # per-step, per-rank I(p)
     search_steps_total: int
     orphans_total: int
+
+    @property
+    def phase_totals(self) -> dict:
+        """phase -> summed rank-seconds (derived from the rollup)."""
+        return {p: self.rollup.phase_total(p) for p in self.rollup.phases()}
+
+    @property
+    def phase_max(self) -> dict:
+        """phase -> max single-rank seconds (derived from the rollup)."""
+        return {p: self.rollup.phase_max(p) for p in self.rollup.phases()}
+
+    @property
+    def total_flops(self) -> float:
+        return self.rollup.total_flops()
+
+    @property
+    def igbp_per_rank_step(self) -> np.ndarray:
+        """(nsteps, nprocs) I(p) matrix (derived from the IGBP rollup)."""
+        return self.igbp.per_step()
 
 
 @dataclass
@@ -91,20 +113,20 @@ class RunResult:
         return self.elapsed / self.nsteps
 
     def phase_total(self, phase: str) -> float:
-        return sum(e.phase_totals.get(phase, 0.0) for e in self.epochs)
+        return sum(e.rollup.phase_total(phase) for e in self.epochs)
 
     @property
     def pct_dcf3d(self) -> float:
         """Percentage of total (rank-summed) time in the connectivity
         solution — the paper's '% Time in DCF3D' column."""
-        total = sum(sum(e.phase_totals.values()) for e in self.epochs)
+        total = sum(e.rollup.total_seconds() for e in self.epochs)
         if total == 0:
             return 0.0
         return 100.0 * self.phase_total(PHASE_DCF) / total
 
     @property
     def total_flops(self) -> float:
-        return sum(e.total_flops for e in self.epochs)
+        return sum(e.rollup.total_flops() for e in self.epochs)
 
     @property
     def mflops_per_node(self) -> float:
@@ -114,11 +136,31 @@ class RunResult:
 
     def phase_elapsed(self, phase: str) -> float:
         """Critical-path seconds of one phase (slowest rank per epoch)."""
-        return sum(e.phase_max.get(phase, 0.0) for e in self.epochs)
+        return sum(e.rollup.phase_max(phase) for e in self.epochs)
 
     @property
     def partition_history(self) -> list[tuple[int, tuple[int, ...]]]:
         return [(e.first_step, e.partition.procs_per_grid) for e in self.epochs]
+
+    def rollup(self) -> PhaseRollup:
+        """Merged per-rank/per-phase rollup over every epoch."""
+        if not self.epochs:
+            raise ValueError("run has no epochs")
+        merged = PhaseRollup(self.nprocs)
+        for e in self.epochs:
+            merged.merge(e.rollup)
+        return merged
+
+    def igbp_rollup(self) -> IgbpRollup:
+        """Merged I(p) series over every epoch.
+
+        Note the merged window restarts whenever a repartition changed
+        the rank count (see :meth:`repro.obs.rollup.IgbpRollup.record`).
+        """
+        merged = IgbpRollup()
+        for e in self.epochs:
+            merged.merge(e.igbp)
+        return merged
 
 
 class _WorldState:
@@ -202,10 +244,19 @@ def _shared_face(a, b) -> int:
 
 
 class OverflowD1:
-    """Run a :class:`CaseConfig` on N simulated nodes."""
+    """Run a :class:`CaseConfig` on N simulated nodes.
 
-    def __init__(self, config: CaseConfig):
+    Pass a :class:`repro.obs.SpanTracer` to record per-rank span events
+    for the measured epochs (warm-up is excluded, matching the paper's
+    statistics).  With ``tracer=None`` (default) nothing is recorded
+    and the simulated timings are bit-identical.
+    """
+
+    def __init__(self, config: CaseConfig, tracer=None):
         self.config = config
+        self.tracer = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -235,8 +286,11 @@ class OverflowD1:
         # exactly that; these steps warm the nth-level-restart caches
         # and their metrics are discarded.
         if cfg.warmup_steps:
-            self._run_epoch(world, partition, caches, 0, cfg.warmup_steps)
+            # Warm-up is never traced: the paper's statistics exclude it.
+            self._run_epoch(world, partition, caches, 0, cfg.warmup_steps,
+                            tracer=None)
 
+        tracer = self.tracer
         step = cfg.warmup_steps
         last = cfg.warmup_steps + cfg.nsteps
         while step < last:
@@ -245,14 +299,29 @@ class OverflowD1:
                 epoch_steps = remaining
             else:
                 epoch_steps = min(cfg.lb_check_interval, remaining)
-            epoch = self._run_epoch(world, partition, caches, step, epoch_steps)
+            if tracer is not None:
+                tracer.mark(
+                    0.0, "epoch",
+                    first_step=step - cfg.warmup_steps,
+                    nsteps=epoch_steps,
+                    procs_per_grid=list(partition.procs_per_grid),
+                )
+            epoch = self._run_epoch(world, partition, caches, step,
+                                    epoch_steps, tracer=tracer)
             result.epochs.append(epoch)
-            for s in range(epoch_steps):
-                rebalancer.record(epoch.igbp_per_rank_step[s])
+            rebalancer.record_epoch(epoch.igbp)
             step += epoch_steps
+            if tracer is not None:
+                tracer.advance(epoch.elapsed)
             new = rebalancer.maybe_rebalance(partition, step)
             if new is not None:
                 partition = new
+                if tracer is not None:
+                    tracer.mark(
+                        0.0, "rebalance",
+                        step=step - cfg.warmup_steps,
+                        procs_per_grid=list(partition.procs_per_grid),
+                    )
         return result
 
     # ------------------------------------------------------------------
@@ -264,6 +333,7 @@ class OverflowD1:
         caches,
         first_step: int,
         nsteps: int,
+        tracer=None,
     ) -> EpochResult:
         cfg = self.config
         nprocs = partition.nprocs
@@ -377,31 +447,28 @@ class OverflowD1:
                 yield from comm.barrier()
             return stats_out
 
-        sim = Simulator(cfg.machine.with_nodes(nprocs))
+        sim = Simulator(cfg.machine.with_nodes(nprocs), tracer=tracer)
         sim.spawn_all(program)
         out = sim.run()
 
-        m = out.metrics
-        phases = m.phases()
-        igbp = np.zeros((nsteps, nprocs), dtype=np.int64)
+        igbp = IgbpRollup()
+        per_step = np.zeros((nsteps, nprocs), dtype=np.int64)
         search_total = 0
         orphans_total = 0
         for rank, stats in enumerate(out.returns):
             for s, st in enumerate(stats):
-                igbp[s, rank] = st.igbps_received
+                per_step[s, rank] = st.igbps_received
                 search_total += st.search_steps
                 orphans_total += st.orphans
+        for s in range(nsteps):
+            igbp.record(per_step[s])
         return EpochResult(
             partition=partition,
             first_step=first_step,
             nsteps=nsteps,
             elapsed=out.elapsed,
-            phase_totals={
-                p: sum(r.phase_time(p) for r in m.ranks) for p in phases
-            },
-            phase_max={p: m.phase_time_max(p) for p in phases},
-            total_flops=m.total_flops(),
-            igbp_per_rank_step=igbp,
+            rollup=PhaseRollup.from_metrics(out.metrics),
+            igbp=igbp,
             search_steps_total=search_total,
             orphans_total=orphans_total,
         )

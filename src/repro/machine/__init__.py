@@ -35,7 +35,7 @@ from repro.machine.spec import (
     MACHINE_PRESETS,
 )
 from repro.machine.event import Message, Mailbox, ANY_SOURCE, ANY_TAG
-from repro.machine.simmpi import Comm, Request, Status
+from repro.machine.simmpi import MAX_USER_TAG, Comm, Request, Status
 from repro.machine.scheduler import Simulator, SimulationResult, DeadlockError
 from repro.machine.metrics import RankMetrics, MachineMetrics
 
@@ -51,6 +51,7 @@ __all__ = [
     "Mailbox",
     "ANY_SOURCE",
     "ANY_TAG",
+    "MAX_USER_TAG",
     "Comm",
     "Request",
     "Status",

@@ -79,9 +79,20 @@ class Simulator:
     :attr:`SimulationResult.returns` indexed by rank.
     """
 
-    def __init__(self, machine: MachineSpec, trace: Callable[[str], None] | None = None):
+    def __init__(
+        self,
+        machine: MachineSpec,
+        trace: Callable[[str], None] | None = None,
+        tracer=None,
+    ):
         self.machine = machine
         self.trace = trace
+        # Span tracing (repro.obs).  Disabled tracers are dropped here so
+        # the per-event hot path is a single `is not None` test and the
+        # simulated timings are bit-identical with tracing on or off.
+        self._tracer = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
         self._programs: list[tuple[Callable, tuple, dict]] = []
 
     # ------------------------------------------------------------------
@@ -189,10 +200,15 @@ class Simulator:
         kind = op[0]
         if kind == "compute":
             _, dt, flops = op
+            t0 = state.clock
             state.clock += dt
             state.metrics.add_time(state.phase, "compute", dt)
             if flops:
                 state.metrics.add_flops(state.phase, flops)
+            if self._tracer is not None:
+                self._tracer.op(
+                    state.rank, state.phase, "compute", t0, state.clock, flops
+                )
         elif kind == "inject":
             _, dst, tag, payload, nbytes = op
             self._inject(state, dst, tag, payload, nbytes)
@@ -220,6 +236,8 @@ class Simulator:
         elif kind == "set_phase":
             old, state.phase = state.phase, op[1]
             state.send_value = old
+            if self._tracer is not None:
+                self._tracer.phase(state.rank, state.clock, state.phase)
         else:  # pragma: no cover - API misuse guard
             raise ValueError(f"unknown primitive op {kind!r} from rank {state.rank}")
 
@@ -231,10 +249,16 @@ class Simulator:
         else:
             dt = net.injection_time(nbytes)
             arrival = state.clock + dt + net.latency
+        t0 = state.clock
         state.clock += dt
         state.metrics.add_time(state.phase, "comm", dt)
         state.metrics.messages_sent += 1
         state.metrics.bytes_sent += nbytes
+        if self._tracer is not None:
+            self._tracer.op(
+                state.rank, state.phase, "comm", t0, state.clock,
+                nbytes=nbytes,
+            )
         msg = Message(
             src=state.rank,
             dst=dst,
@@ -252,13 +276,22 @@ class Simulator:
             )
 
     def _complete_recv(self, state: _RankState, msg: Message) -> None:
+        t0 = state.clock
         wait = max(0.0, msg.arrival_time - state.clock)
         state.clock = max(state.clock, msg.arrival_time)
         state.metrics.add_time(state.phase, "wait", wait)
         state.metrics.messages_received += 1
         state.send_value = msg
+        if self._tracer is not None:
+            self._tracer.op(
+                state.rank, state.phase, "wait", t0, state.clock,
+                nbytes=msg.nbytes,
+            )
 
     def _charge_poll(self, state: _RankState) -> None:
         dt = self.machine.network.poll_overhead
+        t0 = state.clock
         state.clock += dt
         state.metrics.add_time(state.phase, "comm", dt)
+        if self._tracer is not None:
+            self._tracer.op(state.rank, state.phase, "comm", t0, state.clock)

@@ -24,13 +24,23 @@ never sees them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Generator, Iterable
 
 from repro.machine.event import ANY_SOURCE, ANY_TAG
 
-# Reserved tag space for collectives; user tags must be < _COLL_TAG_BASE.
-_COLL_TAG_BASE = 1_000_000_000
+#: Exclusive upper bound on user-visible tags.  Everything at or above
+#: it is reserved: sub-communicator translation offsets user tags by
+#: multiples of :data:`SubComm._TAG_STRIDE` (= ``MAX_USER_TAG``), and
+#: collectives live above *all* possible group offsets at
+#: ``_COLL_TAG_BASE`` so a group-translated user tag can never collide
+#: with a collective round.  ``Comm.send``/``recv``/``iprobe`` enforce
+#: the bound with an explicit guard.
+MAX_USER_TAG = 10_000_000
+
+# Reserved tag space for collectives; sits above every possible
+# SubComm offset (< 998 * MAX_USER_TAG) plus user tag.
+_COLL_TAG_BASE = 100_000_000_000
 _TAG_BARRIER = _COLL_TAG_BASE + 1
 _TAG_BCAST = _COLL_TAG_BASE + 2
 _TAG_GATHER = _COLL_TAG_BASE + 3
@@ -113,8 +123,33 @@ class Comm:
     # point to point
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _check_user_tag(tag: int, allow_any: bool = False) -> None:
+        """Guard the reserved tag space.
+
+        User tags must satisfy ``0 <= tag < MAX_USER_TAG``; everything
+        above is reserved for sub-communicator offsets and collective
+        rounds (``tag >= _COLL_TAG_BASE``) and must never be usable from
+        application code, or concurrent collectives could match user
+        messages.
+        """
+        if allow_any and tag == ANY_TAG:
+            return
+        if not (0 <= tag < MAX_USER_TAG):
+            raise ValueError(
+                f"tag {tag} outside the user range [0, {MAX_USER_TAG}); "
+                f"tags >= {MAX_USER_TAG} are reserved for group offsets "
+                f"and collectives (collective base {_COLL_TAG_BASE})"
+            )
+
     def send(self, dst: int, tag: int, payload: Any = None, nbytes: int | None = None) -> Generator:
         """Buffered (eager) send: returns once the message is injected."""
+        self._check_user_tag(tag)
+        yield from self._send(dst, tag, payload, nbytes)
+        return None
+
+    def _send(self, dst: int, tag: int, payload: Any = None, nbytes: int | None = None) -> Generator:
+        """Unchecked send primitive (collectives use reserved tags)."""
         if not (0 <= dst < self.size):
             raise ValueError(f"send to invalid rank {dst} (size {self.size})")
         yield ("inject", dst, tag, payload, self._size_of(payload, nbytes))
@@ -128,11 +163,17 @@ class Comm:
 
     def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         """Blocking receive; returns ``(payload, Status)``."""
+        self._check_user_tag(tag, allow_any=True)
+        return (yield from self._recv(src, tag))
+
+    def _recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Unchecked receive primitive (collectives use reserved tags)."""
         msg = yield ("recv", src, tag)
         return msg.payload, Status(msg.src, msg.tag, msg.nbytes)
 
     def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         """Post a non-blocking receive; complete with wait/test."""
+        self._check_user_tag(tag, allow_any=True)
         yield from ()  # keep generator protocol uniform
         return Request("recv", src, tag)
 
@@ -149,7 +190,7 @@ class Comm:
         """Non-blocking completion check; returns ``True`` if done."""
         if req.done:
             return True
-        got = yield ("tryrecv", req.src, req.tag)
+        got = yield from self._tryrecv(req.src, req.tag)
         if got is None:
             return False
         req.done = True
@@ -165,8 +206,18 @@ class Comm:
 
     def iprobe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         """Has a matching message arrived?  Charges a polling overhead."""
+        self._check_user_tag(tag, allow_any=True)
+        return (yield from self._iprobe(src, tag))
+
+    def _iprobe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         found = yield ("iprobe", src, tag)
         return found
+
+    def _tryrecv(self, src: int, tag: int) -> Generator:
+        """Non-blocking matched receive primitive (no tag translation:
+        overridden by :class:`SubComm`)."""
+        got = yield ("tryrecv", src, tag)
+        return got
 
     # ------------------------------------------------------------------
     # collectives
@@ -180,8 +231,8 @@ class Comm:
         rounds = max(1, math.ceil(math.log2(p)))
         for k in range(rounds):
             dist = 1 << k
-            yield from self.send((self.rank + dist) % p, _TAG_BARRIER + k, None, 8)
-            yield from self.recv((self.rank - dist) % p, _TAG_BARRIER + k)
+            yield from self._send((self.rank + dist) % p, _TAG_BARRIER + k, None, 8)
+            yield from self._recv((self.rank - dist) % p, _TAG_BARRIER + k)
         return None
 
     def bcast(self, payload: Any = None, root: int = 0, nbytes: int | None = None) -> Generator:
@@ -203,7 +254,7 @@ class Comm:
         while mask < top:
             if vrank & mask:
                 src = (vrank - mask + root) % p
-                received, _ = yield from self.recv(src, _TAG_BCAST)
+                received, _ = yield from self._recv(src, _TAG_BCAST)
                 break
             mask <<= 1
         else:
@@ -213,7 +264,7 @@ class Comm:
         while mask > 0:
             if vrank + mask < p:
                 dst = (vrank + mask + root) % p
-                yield from self.send(dst, _TAG_BCAST, received, n)
+                yield from self._send(dst, _TAG_BCAST, received, n)
             mask >>= 1
         return received
 
@@ -225,10 +276,10 @@ class Comm:
             out: list[Any] = [None] * self.size
             out[root] = payload
             for _ in range(self.size - 1):
-                data, status = yield from self.recv(ANY_SOURCE, _TAG_GATHER)
+                data, status = yield from self._recv(ANY_SOURCE, _TAG_GATHER)
                 out[status.source] = data
             return out
-        yield from self.send(root, _TAG_GATHER, payload, nbytes)
+        yield from self._send(root, _TAG_GATHER, payload, nbytes)
         return None
 
     def allgather(self, payload: Any, nbytes: int | None = None) -> Generator:
@@ -270,9 +321,9 @@ class Comm:
         out[self.rank] = payloads[self.rank]
         for dst in range(self.size):
             if dst != self.rank:
-                yield from self.send(dst, _TAG_ALLTOALL, payloads[dst], nbytes)
+                yield from self._send(dst, _TAG_ALLTOALL, payloads[dst], nbytes)
         for _ in range(self.size - 1):
-            data, status = yield from self.recv(ANY_SOURCE, _TAG_ALLTOALL)
+            data, status = yield from self._recv(ANY_SOURCE, _TAG_ALLTOALL)
             out[status.source] = data
         return out
 
@@ -379,14 +430,16 @@ class SubComm(Comm):
         return tag + self._tag_offset
 
     # -- overridden primitives (everything else composes on these) -----
+    # The *public* send/recv/iprobe with their user-tag guard are
+    # inherited from Comm; only the unchecked primitives translate.
 
-    def send(self, dst, tag, payload=None, nbytes=None):
-        yield from self.parent.send(
+    def _send(self, dst, tag, payload=None, nbytes=None):
+        yield from self.parent._send(
             self._global(dst), self._tag(tag), payload, nbytes
         )
         return None
 
-    def recv(self, src=ANY_SOURCE, tag=ANY_TAG):
+    def _recv(self, src=ANY_SOURCE, tag=ANY_TAG):
         gsrc = ANY_SOURCE if src == ANY_SOURCE else self._global(src)
         msg = yield ("recv", gsrc, self._tag(tag))
         local_src = (
@@ -397,7 +450,20 @@ class SubComm(Comm):
         )
         return msg.payload, Status(local_src, local_tag, msg.nbytes)
 
-    def iprobe(self, src=ANY_SOURCE, tag=ANY_TAG):
+    def _iprobe(self, src=ANY_SOURCE, tag=ANY_TAG):
         gsrc = ANY_SOURCE if src == ANY_SOURCE else self._global(src)
         found = yield ("iprobe", gsrc, self._tag(tag))
         return found
+
+    def _tryrecv(self, src, tag):
+        gsrc = ANY_SOURCE if src == ANY_SOURCE else self._global(src)
+        got = yield ("tryrecv", gsrc, self._tag(tag))
+        if got is None:
+            return None
+        local_src = (
+            self.members.index(got.src) if got.src in self.members else -1
+        )
+        local_tag = (
+            got.tag - self._tag_offset if got.tag != ANY_TAG else got.tag
+        )
+        return replace(got, src=local_src, tag=local_tag)

@@ -1,0 +1,47 @@
+"""Observability: per-rank phase tracing, rollups and exporters.
+
+The paper's entire evaluation (Tables 1--5) is built from per-phase,
+per-rank timing breakdowns: flow solve vs. grid motion vs. DCF3D
+connectivity, received-IGBP counts I(p), and load-imbalance factors
+f(p) = I(p)/Ibar.  This subpackage is the instrumentation layer that
+produces those series from the simulated machine:
+
+* :mod:`tracer` — span-event recording (:class:`SpanTracer`) with a
+  zero-cost disabled path (:class:`NullTracer` / ``tracer=None``); the
+  scheduler emits one span per primitive (compute, message injection,
+  blocked-receive wait, poll) tagged with rank, phase, virtual begin
+  and end times, flops and bytes;
+* :mod:`rollup` — derived per-rank/per-phase aggregates
+  (:class:`PhaseRollup`, the Table-4-style breakdown) and the I(p) /
+  f(p) series (:class:`IgbpRollup`) consumed by
+  :mod:`repro.partition.dynamic_lb`;
+* :mod:`export` — Chrome ``trace_event`` JSON (loadable in
+  ``chrome://tracing`` / Perfetto), CSV rollups, and an ASCII per-rank
+  timeline rendered through :mod:`repro.core.ascii_plot`.
+
+See ``docs/observability.md`` for the schema and reading guide.
+"""
+
+from repro.obs.tracer import NullTracer, SpanTracer, Tracer
+from repro.obs.rollup import IgbpRollup, PhaseCell, PhaseRollup
+from repro.obs.export import (
+    ascii_timeline,
+    chrome_trace,
+    rollup_csv,
+    write_chrome_trace,
+    write_rollup_csv,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "SpanTracer",
+    "PhaseCell",
+    "PhaseRollup",
+    "IgbpRollup",
+    "chrome_trace",
+    "write_chrome_trace",
+    "rollup_csv",
+    "write_rollup_csv",
+    "ascii_timeline",
+]

@@ -1,0 +1,173 @@
+"""Span-event tracing for the simulated machine.
+
+Events are recorded by :class:`repro.machine.scheduler.Simulator` as it
+dispatches rank primitives; every record call sites behind an
+``if tracer is not None`` guard, and the default is ``None``, so the
+disabled path costs one pointer comparison and allocates nothing —
+benchmark virtual times are bit-identical with tracing on or off
+(asserted by the golden-trace tests).
+
+Three event kinds are kept, all in *virtual seconds*:
+
+``op`` spans
+    ``(rank, phase, kind, t0, t1, flops, nbytes)`` — one per scheduler
+    primitive.  ``kind`` is ``compute`` (charged arithmetic), ``comm``
+    (message injection / polling; the sender-side cost) or ``wait``
+    (blocked receive; ``t1 - t0`` is the idle time, ``nbytes`` the size
+    of the message that ended it).
+``phase`` marks
+    ``(rank, t, name)`` — emitted at every ``Comm.set_phase``.
+``mark`` instants
+    ``(t, name, args)`` — driver-level annotations (epoch boundaries,
+    repartitions).
+
+A multi-epoch run (the driver restarts the scheduler after each dynamic
+rebalance) calls :meth:`Tracer.advance` between epochs so recorded
+times stay on one continuous virtual axis.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Tracer", "NullTracer", "SpanTracer", "OpEvent"]
+
+#: Alias documenting the tuple layout of one ``op`` span.
+OpEvent = tuple  # (rank, phase, kind, t0, t1, flops, nbytes)
+
+
+class Tracer:
+    """Recording interface; the base class ignores everything.
+
+    ``enabled`` is the contract with the scheduler: a simulator given a
+    tracer with ``enabled=False`` drops it at construction time, so the
+    per-event hot path never even sees the object.
+    """
+
+    enabled: bool = False
+
+    # -- recording (called from the scheduler hot path) ----------------
+
+    def op(
+        self,
+        rank: int,
+        phase: str,
+        kind: str,
+        t0: float,
+        t1: float,
+        flops: float = 0.0,
+        nbytes: int = 0,
+    ) -> None:
+        """Record one primitive span on ``rank``."""
+
+    def phase(self, rank: int, t: float, name: str) -> None:
+        """Record a phase switch on ``rank`` at virtual time ``t``."""
+
+    def mark(self, t: float, name: str, **args: Any) -> None:
+        """Record an instantaneous driver-level annotation."""
+
+    # -- epoch plumbing -------------------------------------------------
+
+    @property
+    def offset(self) -> float:
+        """Current virtual-time offset added to recorded times."""
+        return 0.0
+
+    def advance(self, dt: float) -> None:
+        """Shift the virtual-time origin forward by ``dt`` (one epoch)."""
+
+
+class NullTracer(Tracer):
+    """Explicitly-disabled tracer; identical to passing ``tracer=None``."""
+
+
+class SpanTracer(Tracer):
+    """Accumulates every event in memory.
+
+    Attributes
+    ----------
+    ops:
+        List of ``(rank, phase, kind, t0, t1, flops, nbytes)`` tuples in
+        deterministic scheduler dispatch order.
+    phase_marks:
+        List of ``(rank, t, name)`` phase-switch marks.
+    marks:
+        List of ``(t, name, args)`` driver annotations.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.ops: list[tuple] = []
+        self.phase_marks: list[tuple] = []
+        self.marks: list[tuple] = []
+        self._offset = 0.0
+
+    # -- recording ------------------------------------------------------
+
+    def op(self, rank, phase, kind, t0, t1, flops=0.0, nbytes=0) -> None:
+        off = self._offset
+        self.ops.append((rank, phase, kind, t0 + off, t1 + off, flops, nbytes))
+
+    def phase(self, rank, t, name) -> None:
+        self.phase_marks.append((rank, t + self._offset, name))
+
+    def mark(self, t, name, **args) -> None:
+        self.marks.append((t + self._offset, name, dict(args)))
+
+    # -- epoch plumbing -------------------------------------------------
+
+    @property
+    def offset(self) -> float:
+        return self._offset
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"cannot advance the trace origin by {dt}")
+        self._offset += dt
+
+    # -- derived views --------------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        """Number of ranks seen (max rank id + 1)."""
+        if not self.ops and not self.phase_marks:
+            return 0
+        ranks = [e[0] for e in self.ops] + [e[0] for e in self.phase_marks]
+        return max(ranks) + 1
+
+    @property
+    def t_end(self) -> float:
+        """Latest span end time (0 for an empty trace)."""
+        return max((e[4] for e in self.ops), default=0.0)
+
+    def rank_ops(self, rank: int) -> list[tuple]:
+        """This rank's op spans, in time order."""
+        return [e for e in self.ops if e[0] == rank]
+
+    def phase_spans(self) -> dict[int, list[tuple[float, float, str]]]:
+        """Contiguous per-rank phase bands derived from the op spans.
+
+        Returns ``{rank: [(t0, t1, phase), ...]}`` where consecutive ops
+        in the same phase are coalesced into one band.  Gaps between
+        bands are times the rank had already finished (or had no
+        recorded activity).
+        """
+        out: dict[int, list[tuple[float, float, str]]] = {}
+        for rank, phase, _kind, t0, t1, _f, _b in self.ops:
+            spans = out.setdefault(rank, [])
+            if spans and spans[-1][2] == phase and t0 <= spans[-1][1] + 1e-15:
+                prev = spans[-1]
+                spans[-1] = (prev[0], max(prev[1], t1), phase)
+            else:
+                spans.append((t0, t1, phase))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpanTracer({len(self.ops)} ops, {self.nranks} ranks, "
+            f"t_end={self.t_end:.6g}s)"
+        )

@@ -21,13 +21,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.rollup import IgbpRollup
 from repro.partition.assignment import Partition, build_partition
 from repro.partition.static_lb import static_balance
 
 
 def dynamic_rebalance(
     partition: Partition,
-    igbp_received: np.ndarray,
+    igbp_received: np.ndarray | IgbpRollup,
     f0: float,
 ) -> Partition | None:
     """One application of Algorithm 2.
@@ -38,7 +39,9 @@ def dynamic_rebalance(
         The current (static) partition.
     igbp_received:
         I(p): per-rank counts of non-local IGBPs received in search
-        requests since the last check.
+        requests since the last check — either a raw array or an
+        :class:`repro.obs.rollup.IgbpRollup` (the driver's tracing
+        rollup), whose accumulated window is used.
     f0:
         User load-balance factor.  ``math.inf`` disables rebalancing.
 
@@ -47,6 +50,8 @@ def dynamic_rebalance(
     A new :class:`Partition`, or ``None`` when no processor exceeds f0
     (or rebalancing is impossible, e.g. no processors to spare).
     """
+    if isinstance(igbp_received, IgbpRollup):
+        igbp_received = igbp_received.accumulated()
     igbp_received = np.asarray(igbp_received, dtype=float)
     if igbp_received.shape != (partition.nprocs,):
         raise ValueError(
@@ -107,9 +112,12 @@ def dynamic_rebalance(
 class DynamicRebalancer:
     """Stateful wrapper used by the OVERFLOW-D1 driver.
 
-    Accumulates I(p) between checks; every ``check_interval`` timesteps
-    it applies :func:`dynamic_rebalance` and reports whether the
-    partition changed.
+    Accumulates the I(p) window in an
+    :class:`repro.obs.rollup.IgbpRollup` between checks; every
+    ``check_interval`` timesteps it applies :func:`dynamic_rebalance`
+    and reports whether the partition changed.  The window rollup (and
+    its f(p) = I(p)/Ibar series) is exposed as :attr:`window` for
+    observability.
     """
 
     f0: float
@@ -119,37 +127,33 @@ class DynamicRebalancer:
     def __post_init__(self):
         if self.check_interval < 1:
             raise ValueError("check_interval must be >= 1")
-        self._accum: np.ndarray | None = None
-        self._steps = 0
+        self.window = IgbpRollup()
         self._rebalances = 0
         self.history: list[tuple[int, tuple[int, ...]]] = []
 
     def record(self, igbp_received: np.ndarray) -> None:
-        """Accumulate one timestep's I(p)."""
-        arr = np.asarray(igbp_received, dtype=float)
-        if self._accum is None:
-            self._accum = arr.copy()
-        else:
-            if arr.shape != self._accum.shape:
-                # Partition size changed (rebalance happened): restart.
-                self._accum = arr.copy()
-            else:
-                self._accum += arr
-        self._steps += 1
+        """Accumulate one timestep's I(p).
+
+        A sample with a different rank count (the partition was rebuilt)
+        restarts the window — :meth:`IgbpRollup.record` semantics.
+        """
+        self.window.record(igbp_received)
+
+    def record_epoch(self, igbp: IgbpRollup) -> None:
+        """Accumulate a whole epoch's I(p) rollup from the driver."""
+        self.window.merge(igbp)
 
     def maybe_rebalance(self, partition: Partition, step: int) -> Partition | None:
         """Apply Algorithm 2 if a check is due; returns the new partition
         or None when nothing changed."""
         if (
             math.isinf(self.f0)
-            or self._steps < self.check_interval
-            or self._accum is None
+            or self.window.nsteps < self.check_interval
             or self._rebalances >= self.max_rebalances
         ):
             return None
-        new = dynamic_rebalance(partition, self._accum, self.f0)
-        self._accum = None
-        self._steps = 0
+        new = dynamic_rebalance(partition, self.window, self.f0)
+        self.window = IgbpRollup()
         if new is not None:
             self._rebalances += 1
             self.history.append((step, new.procs_per_grid))

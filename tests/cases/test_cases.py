@@ -11,6 +11,7 @@ from repro.cases import (
     store_case,
     store_grids,
     x38_adaptive_system,
+    x38_case,
     x38_near_body_grids,
 )
 from repro.cases.store import N_STORE_GRIDS, STORE_SEARCH_LISTS
@@ -143,3 +144,14 @@ class TestX38:
         sys = x38_adaptive_system(max_level=2, points_per_brick=5)
         assert len(sys.bricks) > 0
         assert sys.max_level == 2
+
+    def test_case_builder_is_runnable_config(self):
+        cfg = x38_case(machine=sp2(nodes=4), scale=0.3, nsteps=2)
+        assert len(cfg.grids) == 3
+        assert cfg.machine.nodes == 4
+        assert not cfg.motions  # rigid vehicle holding attitude
+        # Search lists reference valid grids symmetrically.
+        for gi, donors in cfg.search_lists.items():
+            assert 0 <= gi < 3
+            for d in donors:
+                assert gi in cfg.search_lists[d]

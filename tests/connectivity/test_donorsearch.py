@@ -169,3 +169,105 @@ class TestProperties:
         pt = np.array([[rad * np.cos(theta), rad * np.sin(theta)]])
         r = donor_search(g.xyz, pt)
         assert r.found.all()
+
+
+def wavy_grid(ni, nj, amp, kx, ky, theta=0.0, shift=(0.0, 0.0)):
+    """A random *smooth* curvilinear grid: a cartesian sheet with
+    sinusoidal coordinate waves, rigidly rotated by ``theta`` and
+    translated by ``shift``.  ``amp <= 0.3`` keeps every cell a convex
+    quad, so the multilinear cell maps tile the domain without overlap
+    and a donor (cell, frac) pair is unique away from cell faces."""
+    i = np.arange(ni, dtype=float)[:, None] * np.ones((1, nj))
+    j = np.ones((ni, 1)) * np.arange(nj, dtype=float)[None, :]
+    x = i + amp * np.sin(2.0 * np.pi * kx * j / (nj - 1))
+    y = j + amp * np.sin(2.0 * np.pi * ky * i / (ni - 1))
+    c, s = np.cos(theta), np.sin(theta)
+    return np.stack(
+        [c * x - s * y + shift[0], s * x + c * y + shift[1]], axis=-1
+    )
+
+
+class TestRoundTripProperties:
+    """ISSUE satellite: (cell, frac) -> physical point -> search must
+    recover the donor on random smooth curvilinear grids, and warm
+    (nth-level-restart) searches must beat cold ones after small grid
+    motion."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        amp=st.floats(0.0, 0.3),
+        kx=st.integers(1, 3),
+        ky=st.integers(1, 3),
+        theta=st.floats(0.0, 0.6),
+        ci=st.integers(0, 10),
+        cj=st.integers(0, 8),
+        fa=st.floats(0.05, 0.95),
+        fb=st.floats(0.05, 0.95),
+    )
+    def test_single_donor_roundtrip(self, amp, kx, ky, theta, ci, cj, fa, fb):
+        xyz = wavy_grid(12, 10, amp, kx, ky, theta)
+        cells = np.array([[ci, cj]])
+        fracs = np.array([[fa, fb]])
+        pt = interpolate(xyz, cells, fracs)
+        r = donor_search(xyz, pt)
+        assert r.found.all()
+        assert r.cells.tolist() == cells.tolist()
+        assert np.allclose(r.fracs, fracs, atol=1e-6)
+        # ... and the recovered donor reproduces the physical point.
+        assert np.allclose(interpolate(xyz, r.cells, r.fracs), pt, atol=1e-8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        amp=st.floats(0.0, 0.25),
+        kx=st.integers(1, 3),
+        ky=st.integers(1, 3),
+        seed=st.integers(0, 1_000),
+    )
+    def test_batch_roundtrip(self, amp, kx, ky, seed):
+        ni, nj = 17, 13
+        xyz = wavy_grid(ni, nj, amp, kx, ky)
+        rng = np.random.default_rng(seed)
+        n = 50
+        cells = np.stack(
+            [rng.integers(0, ni - 1, n), rng.integers(0, nj - 1, n)], axis=-1
+        )
+        fracs = rng.uniform(0.05, 0.95, size=(n, 2))
+        pts = interpolate(xyz, cells, fracs)
+        r = donor_search(xyz, pts)
+        assert r.found.all()
+        assert (r.cells == cells).all()
+        assert np.allclose(r.fracs, fracs, atol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        amp=st.floats(0.0, 0.2),
+        angle=st.floats(0.002, 0.02),
+        dx=st.floats(-0.2, 0.2),
+        dy=st.floats(-0.2, 0.2),
+        seed=st.integers(0, 1_000),
+    )
+    def test_warm_restart_beats_cold_after_small_motion(
+        self, amp, angle, dx, dy, seed
+    ):
+        """Move the grid by a sub-cell rigid motion; re-searching from
+        the previous donors (warm) must take strictly fewer total walk
+        steps than re-searching from scratch (cold)."""
+        xyz0 = wavy_grid(41, 41, amp, 2, 2)
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform([6.0, 6.0], [34.0, 34.0], size=(80, 2))
+        before = donor_search(xyz0, pts)
+        assert before.found.all()
+
+        # Rigid motion about the grid centre + small translation.
+        centre = xyz0.reshape(-1, 2).mean(axis=0)
+        c, s = np.cos(angle), np.sin(angle)
+        rot = np.array([[c, -s], [s, c]])
+        xyz1 = (xyz0 - centre) @ rot.T + centre + np.array([dx, dy])
+
+        cold = donor_search(xyz1, pts)
+        warm = donor_search(xyz1, pts, guesses=before.cells)
+        assert cold.found.all() and warm.found.all()
+        # Same donors either way ...
+        assert (warm.cells == cold.cells).all()
+        # ... but the restart pays strictly fewer walk steps.
+        assert warm.total_steps < cold.total_steps

@@ -1,0 +1,177 @@
+"""Edge-case battery for Algorithms 1 and 2 (ISSUE satellite).
+
+Covers the pathological shapes the paper's schemes must survive:
+fewer processors than grids, one giant grid amid many tiny ones,
+f0 = infinity as the "never rebalance" switch, and the integer
+tolerance-relaxation loop's termination + processor conservation over
+adversarial random inputs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.rollup import IgbpRollup
+from repro.partition.assignment import build_partition
+from repro.partition.dynamic_lb import DynamicRebalancer, dynamic_rebalance
+from repro.partition.static_lb import static_balance
+
+
+class TestFewerProcsThanGrids:
+    """P < number of grids: each grid needs a whole processor, so this
+    must fail loudly at every entry point, never mis-partition."""
+
+    def test_static_balance_raises(self):
+        with pytest.raises(ValueError, match="cannot cover"):
+            static_balance([100, 100, 100, 100], 3)
+
+    def test_build_partition_raises(self):
+        with pytest.raises(ValueError, match="cannot cover"):
+            build_partition([(10, 10), (10, 10), (10, 10)], 2)
+
+    def test_exactly_one_proc_per_grid_is_fine(self):
+        res = static_balance([5, 500, 50_000], 3)
+        assert res.procs_per_grid == (1, 1, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ngrids=st.integers(2, 12),
+        deficit=st.integers(1, 5),
+        seed=st.integers(0, 1_000),
+    )
+    def test_any_deficit_raises(self, ngrids, deficit, seed):
+        rng = np.random.default_rng(seed)
+        grids = rng.integers(1, 10_000, size=ngrids).tolist()
+        with pytest.raises(ValueError):
+            static_balance(grids, max(1, ngrids - deficit))
+
+
+class TestGiantPlusTinyGrids:
+    """One giant grid + many tiny grids: the np >= 1 clamp over-counts,
+    the relaxation loop must still converge and hand the giant grid all
+    spare processors."""
+
+    def test_giant_gets_the_surplus(self):
+        grids = [1_000_000] + [10] * 30
+        res = static_balance(grids, 40)
+        assert sum(res.procs_per_grid) == 40
+        assert all(c == 1 for c in res.procs_per_grid[1:])
+        assert res.procs_per_grid[0] == 10
+
+    def test_barely_enough_processors(self):
+        grids = [1_000_000] + [10] * 30
+        res = static_balance(grids, 31)  # exactly one each
+        assert res.procs_per_grid == (1,) + (1,) * 30
+
+    def test_many_tiny_overcount_converges(self):
+        """Tiny grids clamp to 1 proc each: initial counts exceed NP and
+        the printed growing-eps branch must shrink them back."""
+        grids = [50] * 20 + [100_000]
+        res = static_balance(grids, 22)
+        assert sum(res.procs_per_grid) == 22
+        assert res.procs_per_grid[-1] >= 2
+
+    def test_dynamic_rebalance_conserves_on_skewed_partition(self):
+        part = build_partition([(100, 100), (4, 4), (4, 4)], 8)
+        igbp = np.zeros(8)
+        # Overload one tiny grid's single processor.
+        tiny_rank = next(
+            r for r in range(8) if part.grid_of_rank(r) == 1
+        )
+        igbp[tiny_rank] = 1_000.0
+        new = dynamic_rebalance(part, igbp, f0=2.0)
+        if new is not None:
+            assert new.nprocs == part.nprocs
+            assert all(c >= 1 for c in new.procs_per_grid)
+            assert new.procs_per_grid[1] >= part.procs_per_grid[1]
+
+
+class TestF0Infinity:
+    """f0 = inf is the paper's "leave the flow solver optimal" switch:
+    no amount of imbalance may trigger a repartition."""
+
+    def test_direct_call_is_noop(self):
+        part = build_partition([(30, 30), (10, 10)], 6)
+        worst = np.array([1e9, 0, 0, 0, 0, 0])
+        assert dynamic_rebalance(part, worst, math.inf) is None
+
+    def test_rebalancer_never_fires_over_many_windows(self):
+        part = build_partition([(30, 30), (10, 10)], 6)
+        rb = DynamicRebalancer(f0=math.inf, check_interval=2)
+        for step in range(1, 21):
+            rb.record(np.array([1e9, 0, 0, 0, 0, 0]))
+            assert rb.maybe_rebalance(part, step) is None
+        assert rb.history == []
+
+    def test_rollup_input_is_noop_too(self):
+        part = build_partition([(30, 30), (10, 10)], 6)
+        roll = IgbpRollup()
+        roll.record(np.array([1e9, 0, 0, 0, 0, 0]))
+        assert dynamic_rebalance(part, roll, math.inf) is None
+
+
+class TestToleranceLoopTermination:
+    """Algorithm 1's tolerance relaxation always terminates and returns
+    counts that conserve NP exactly — over adversarial random inputs
+    with up to 10^9:1 size ratios."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        grids=st.lists(st.integers(1, 1_000_000_000), min_size=1,
+                       max_size=16),
+        extra=st.integers(0, 50),
+    )
+    def test_terminates_and_conserves_processors(self, grids, extra):
+        nprocs = len(grids) + extra
+        res = static_balance(grids, nprocs)
+        assert sum(res.procs_per_grid) == nprocs
+        assert all(c >= 1 for c in res.procs_per_grid)
+        assert res.iterations >= 0 and res.tau >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        grids=st.lists(st.integers(1, 10_000), min_size=2, max_size=8),
+        extra=st.integers(0, 20),
+        seed=st.integers(0, 1_000),
+    )
+    def test_minimum_constraints_respected_and_conserved(
+        self, grids, extra, seed
+    ):
+        nprocs = len(grids) + extra
+        rng = np.random.default_rng(seed)
+        # Random feasible minimums (sum <= nprocs, each >= 1).
+        mins = [1] * len(grids)
+        for _ in range(nprocs - len(grids)):
+            if rng.random() < 0.4:
+                mins[int(rng.integers(0, len(grids)))] += 1
+        res = static_balance(grids, nprocs, min_points_constraints=mins)
+        assert sum(res.procs_per_grid) == nprocs
+        assert all(c >= m for c, m in zip(res.procs_per_grid, mins))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        f0=st.floats(1.1, 10.0),
+    )
+    def test_dynamic_rebalance_always_conserves(self, seed, f0):
+        """Whatever I(p) looks like, Algorithm 2 either declines or
+        returns a partition over exactly the same processor count."""
+        rng = np.random.default_rng(seed)
+        dims = [(int(rng.integers(4, 40)), int(rng.integers(4, 40)))
+                for _ in range(int(rng.integers(2, 5)))]
+        nprocs = len(dims) + int(rng.integers(0, 10))
+        part = build_partition(dims, nprocs)
+        igbp = rng.integers(0, 1000, size=nprocs).astype(float)
+        new = dynamic_rebalance(part, igbp, f0)
+        if new is not None:
+            assert new.nprocs == part.nprocs
+            assert all(c >= 1 for c in new.procs_per_grid)
+
+    def test_identical_grids_tie_break_terminates(self):
+        """The paper's two-equal-grids / odd-processors pathology."""
+        res = static_balance([1000, 1000], 3)
+        assert sum(res.procs_per_grid) == 3
+        assert sorted(res.procs_per_grid) == [1, 2]

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import math
 
 import pytest
@@ -62,6 +63,70 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "nodes,gridpoints/node" in out.replace(" ", "") or "nodes," in out
+
+
+class TestTrace:
+    def test_trace_airfoil_writes_valid_outputs(self, capsys, tmp_path):
+        rc = main([
+            "trace", "airfoil", "--nodes", "4", "--scale", "0.05",
+            "--steps", "2", "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tracing enabled" in out
+        assert "span events" in out
+        assert "I(p)" in out
+        assert "per-rank phase timeline" in out
+
+        # Valid Chrome trace_event JSON with the three op kinds.
+        doc = json.loads((tmp_path / "trace_airfoil.json").read_text())
+        events = doc["traceEvents"]
+        assert any(e.get("ph") == "X" for e in events)
+        kinds = {e["name"] for e in events if e.get("ph") == "X"}
+        assert {"compute", "comm", "wait"} <= kinds
+
+        # CSV rollup with the expected header and one row per
+        # (rank, phase) pair.
+        csv = (tmp_path / "trace_airfoil_rollup.csv").read_text()
+        assert csv.startswith(
+            "rank,phase,compute_s,comm_s,wait_s,total_s,flops,bytes,events"
+        )
+        assert len(csv.strip().splitlines()) > 4
+
+    def test_trace_x38_runs(self, capsys, tmp_path):
+        rc = main([
+            "trace", "x38", "--nodes", "4", "--scale", "0.3",
+            "--steps", "2", "--no-timeline", "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        assert "X-38" in capsys.readouterr().out
+        assert (tmp_path / "trace_x38.json").exists()
+
+    def test_trace_phase_totals_cover_scheduler_time(self, tmp_path):
+        """Acceptance check: per-phase totals (compute+comm+wait) tile
+        each rank's accounted time up to the run's elapsed virtual
+        seconds."""
+        rc = main([
+            "trace", "airfoil", "--nodes", "4", "--scale", "0.05",
+            "--steps", "2", "--no-timeline", "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        csv = (tmp_path / "trace_airfoil_rollup.csv").read_text()
+        rows = [r.split(",") for r in csv.strip().splitlines()[1:]]
+        per_rank = {}
+        for r in rows:
+            per_rank.setdefault(int(r[0]), 0.0)
+            per_rank[int(r[0])] += float(r[5])
+        doc = json.loads((tmp_path / "trace_airfoil.json").read_text())
+        t_end = max(
+            e["ts"] + e["dur"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "X"
+        ) / 1e6
+        # Every rank's accounted seconds end at (and never exceed) the
+        # scheduler's total simulated time.
+        assert all(total <= t_end + 1e-9 for total in per_rank.values())
+        assert max(per_rank.values()) == pytest.approx(t_end, rel=1e-9)
 
 
 class TestPhysics:
