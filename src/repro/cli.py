@@ -4,17 +4,24 @@ Usage (installed as ``python -m repro``):
 
     python -m repro list
     python -m repro run airfoil --machine sp2 --nodes 12 --scale 0.5 --steps 5
+    python -m repro run airfoil --steps 60 --checkpoint-every 25 \
+        --checkpoint-dir ckpts --fault rank=3@step=40
+    python -m repro resume ckpts
     python -m repro sweep store --machine sp2 --nodes 16,28,52 --scale 0.1
     python -m repro trace airfoil --nodes 8 --scale 0.1 --steps 4
     python -m repro physics --scale 0.05 --steps 20
 
 ``run`` executes one OVERFLOW-D1 simulation and prints the paper's
-per-run statistics; ``sweep`` produces a Table-1-style speedup table
-over several node counts; ``trace`` runs one simulation with per-rank
-span tracing enabled and dumps a Chrome ``trace_event`` JSON, a CSV
-rollup and an ASCII per-rank timeline (see docs/observability.md);
-``physics`` runs the real coupled 2-D solver on the oscillating-airfoil
-system.
+per-run statistics; with ``--fault`` / ``--checkpoint-every`` /
+``--checkpoint-dir`` it exercises the resilience machinery
+(:mod:`repro.resilience`): injected fail-stop faults, periodic
+checkpoints and elastic recovery.  ``resume`` continues a run from a
+checkpoint file (or the newest checkpoint in a directory).  ``sweep``
+produces a Table-1-style speedup table over several node counts;
+``trace`` runs one simulation with per-rank span tracing enabled and
+dumps a Chrome ``trace_event`` JSON, a CSV rollup and an ASCII per-rank
+timeline (see docs/observability.md); ``physics`` runs the real coupled
+2-D solver on the oscillating-airfoil system.
 """
 
 from __future__ import annotations
@@ -66,6 +73,34 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _resilience_kwargs(args) -> dict:
+    """Driver kwargs from the shared --fault/--checkpoint-* options."""
+    kwargs = {}
+    if getattr(args, "fault", None):
+        kwargs["fault_plan"] = list(args.fault)
+    if getattr(args, "checkpoint_every", None):
+        kwargs["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "checkpoint_dir", None):
+        kwargs["checkpoint_store"] = args.checkpoint_dir
+    return kwargs
+
+
+def _print_run(r) -> None:
+    print(f"time/step        {r.time_per_step:.4f} simulated s")
+    print(f"Mflops/node      {r.mflops_per_node:.1f}")
+    print(f"%time in DCF3D   {r.pct_dcf3d:.1f}%")
+    for step, procs in r.partition_history:
+        print(f"partition from step {step}: {procs}")
+    for rec in r.recoveries:
+        print(rec.describe())
+    if r.recoveries:
+        print(
+            f"wall (incl. rollback) {r.wall_elapsed:.4f} simulated s, "
+            f"downtime {r.downtime:.4f} s over {len(r.recoveries)} "
+            f"recovery(ies)"
+        )
+
+
 def cmd_run(args) -> int:
     machine = _machine(args.machine, args.nodes)
     cfg = _case(args.case, machine, args.scale, args.steps, args.f0)
@@ -74,12 +109,31 @@ def cmd_run(args) -> int:
         f"grids, {machine.name} x {machine.nodes} nodes, "
         f"f0={'inf' if math.isinf(args.f0) else args.f0}"
     )
-    r = OverflowD1(cfg).run()
-    print(f"time/step        {r.time_per_step:.4f} simulated s")
-    print(f"Mflops/node      {r.mflops_per_node:.1f}")
-    print(f"%time in DCF3D   {r.pct_dcf3d:.1f}%")
-    for step, procs in r.partition_history:
-        print(f"partition from step {step}: {procs}")
+    r = OverflowD1(cfg, **_resilience_kwargs(args)).run()
+    _print_run(r)
+    return 0
+
+
+def cmd_resume(args) -> int:
+    from repro.core.overflow_d1 import resume_run
+    from repro.resilience import Checkpoint, CheckpointStore
+
+    path = Path(args.checkpoint)
+    if path.is_dir():
+        store = CheckpointStore(path)
+        ckpt = store.latest()
+        if ckpt is None:
+            raise SystemExit(f"no checkpoints in {path}")
+    else:
+        ckpt = Checkpoint.load(path)
+    meta = ckpt.meta
+    print(
+        f"resuming {meta.get('case')} on {meta.get('machine')} from "
+        f"measured step {meta.get('measured_step')} "
+        f"({ckpt.nbytes} bytes, {meta.get('nprocs')} ranks)"
+    )
+    r = resume_run(ckpt, **_resilience_kwargs(args))
+    _print_run(r)
     return 0
 
 
@@ -115,7 +169,7 @@ def cmd_trace(args) -> int:
         f"grids, {machine.name} x {machine.nodes} nodes, tracing enabled"
     )
     tracer = SpanTracer()
-    run = OverflowD1(cfg, tracer=tracer).run()
+    run = OverflowD1(cfg, tracer=tracer, **_resilience_kwargs(args)).run()
 
     rollup = run.rollup()
     igbp = run.igbp_rollup()
@@ -133,6 +187,8 @@ def cmd_trace(args) -> int:
     print(f"Ibar = {ig['ibar']:.2f}, max f(p) = {ig['f_max']:.3f}")
     for step, procs in run.partition_history:
         print(f"partition from step {step}: {procs}")
+    for rec in run.recoveries:
+        print(rec.describe())
     if not args.no_timeline:
         print()
         print(ascii_timeline(tracer, width=args.width))
@@ -191,10 +247,35 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--steps", type=int, default=5)
         sp.add_argument("--f0", type=float, default=math.inf)
 
+    def resilience(sp):
+        sp.add_argument(
+            "--fault", action="append", metavar="SPEC",
+            help="inject a fail-stop fault, e.g. rank=3@step=40 "
+            "(also rank=R@t=SECONDS / rank=R@phase=K; repeatable)",
+        )
+        sp.add_argument(
+            "--checkpoint-every", type=int, metavar="N",
+            help="checkpoint the driver state every N measured steps",
+        )
+        sp.add_argument(
+            "--checkpoint-dir", metavar="DIR",
+            help="persist checkpoints to DIR (usable by 'repro resume')",
+        )
+
     run = sub.add_parser("run", help="one OVERFLOW-D1 simulation")
     common(run)
     run.add_argument("--nodes", type=int, default=12)
+    resilience(run)
     run.set_defaults(fn=cmd_run)
+
+    resume = sub.add_parser(
+        "resume", help="continue a run from a checkpoint file or directory"
+    )
+    resume.add_argument(
+        "checkpoint", help="path to a .rpk checkpoint or a checkpoint dir"
+    )
+    resilience(resume)
+    resume.set_defaults(fn=cmd_resume)
 
     sweep = sub.add_parser("sweep", help="speedup table over node counts")
     common(sweep)
@@ -210,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(trace)
     trace.add_argument("--nodes", type=int, default=8)
+    resilience(trace)
     trace.add_argument("--out", default=str(DEFAULT_TRACE_DIR),
                        help="output directory for trace/rollup files")
     trace.add_argument("--width", type=int, default=72,

@@ -19,7 +19,12 @@ Two drivers are provided:
 """
 
 from repro.core.config import CaseConfig
-from repro.core.overflow_d1 import OverflowD1, RunResult, StepStats
+from repro.core.overflow_d1 import (
+    OverflowD1,
+    RunResult,
+    StepStats,
+    resume_run,
+)
 from repro.core.overset import OversetDriver, Overset3D
 from repro.core.serial2d import Overset2D
 from repro.core.performance import (
@@ -33,6 +38,7 @@ __all__ = [
     "OverflowD1",
     "RunResult",
     "StepStats",
+    "resume_run",
     "Overset2D",
     "Overset3D",
     "OversetDriver",

@@ -20,12 +20,37 @@ driver simulates ``lb_check_interval`` timesteps, inspects the
 accumulated I(p), and — when f0 is finite and some processor exceeds it
 — rebuilds the partition and continues.  Virtual time accumulates
 across epochs.
+
+Resilience (:mod:`repro.resilience`)
+------------------------------------
+The driver optionally runs with a fault plan, periodic checkpoints and
+elastic recovery:
+
+* **checkpointing** splits an epoch into sub-chunks at checkpoint
+  boundaries.  Sub-chunks are resumed with *carried clocks*
+  (``Simulator(initial_clocks=...)``): the scheduler's matching, waking
+  and tie-breaking depend only on virtual clocks, so a split epoch is
+  bit-identical to the unsplit one — checkpointing perturbs nothing.
+  Checkpoint *writes* are modeled as free (overlapped with
+  computation); only *restores* carry a modeled cost.
+* **fault injection** converts driver-level ``step`` triggers into
+  chunk-local phase triggers (one measured timestep = three phase
+  barriers) and hands scheduler-level triggers through.
+* **elastic recovery** on a :class:`repro.machine.faults.RankFailure`:
+  survivors run the heartbeat detection protocol, the last checkpoint
+  is restored, Algorithm 1 re-runs over the surviving processor set
+  (``exclude_ranks``), survivors are renumbered contiguously (ULFM
+  shrink) and the timestep loop resumes.  The whole episode lands on
+  the trace timeline as ``failure-detection`` / ``restore`` /
+  ``repartition`` spans with continuous epoch offsets.
 """
 
 from __future__ import annotations
 
 import math
+import pickle
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -34,16 +59,29 @@ from repro.connectivity.holecut import cut_holes
 from repro.connectivity.igbp import find_igbps
 from repro.connectivity.restart import RestartCache
 from repro.core.config import CaseConfig
+from repro.machine.faults import FaultPlan, FaultSpec, RankFailure
+from repro.machine.metrics import MachineMetrics
 from repro.machine.scheduler import Simulator
 from repro.obs.rollup import IgbpRollup, PhaseRollup
 from repro.partition.assignment import Partition, build_partition
 from repro.partition.dynamic_lb import DynamicRebalancer
+from repro.resilience.checkpoint import Checkpoint, CheckpointStore
+from repro.resilience.recovery import (
+    RecoveryPolicy,
+    RecoveryRecord,
+    run_failure_detection,
+)
 
 TAG_HALO = 201
 
 PHASE_FLOW = "overflow"
 PHASE_MOTION = "motion"
 PHASE_DCF = "dcf3d"
+
+#: Each measured timestep executes exactly this many ``set_phase``
+#: barriers (flow / motion / dcf3d) — the conversion factor between
+#: driver-level ``step`` fault triggers and scheduler phase triggers.
+PHASES_PER_STEP = 3
 
 
 @dataclass
@@ -103,6 +141,11 @@ class RunResult:
     nprocs: int
     nsteps: int
     epochs: list[EpochResult] = field(default_factory=list)
+    #: Completed failure/restore/repartition episodes, in order.
+    recoveries: list[RecoveryRecord] = field(default_factory=list)
+    #: Total virtual timeline including lost (rolled-back) work and
+    #: recovery overheads.  Equals :attr:`elapsed` for fault-free runs.
+    wall_elapsed: float = 0.0
 
     @property
     def elapsed(self) -> float:
@@ -111,6 +154,11 @@ class RunResult:
     @property
     def time_per_step(self) -> float:
         return self.elapsed / self.nsteps
+
+    @property
+    def downtime(self) -> float:
+        """Virtual seconds spent in detection + restore + repartition."""
+        return sum(r.downtime for r in self.recoveries)
 
     def phase_total(self, phase: str) -> float:
         return sum(e.rollup.phase_total(phase) for e in self.epochs)
@@ -170,6 +218,7 @@ class _WorldState:
         self.config = config
         self.reference = list(config.grids)
         self.grids = list(config.grids)
+        self.time = 0.0
         self.iblanks = None
         self.igbp_sets = None
         self.advance(0.0)
@@ -184,10 +233,31 @@ class _WorldState:
             else:
                 grids.append(ref.with_coordinates(motion.at(t).apply(ref.xyz)))
         self.grids = grids
-        self.iblanks = cut_holes(grids)
+        self.time = t
+        self._recompute()
+
+    def restore(self, t: float, xyz_list) -> None:
+        """Reset to checkpointed poses (no motion recomputation).
+
+        Restoring the stored coordinates directly — rather than
+        re-evaluating the motions at ``t`` — keeps restore exact even
+        for stateful motions (e.g. the 6-DoF integrator) whose
+        trajectory depends on history, and is bit-identical by
+        construction for the prescribed ones.
+        """
+        self.grids = [
+            ref.with_coordinates(xyz)
+            for ref, xyz in zip(self.reference, xyz_list)
+        ]
+        self.time = t
+        self._recompute()
+
+    def _recompute(self) -> None:
+        cfg = self.config
+        self.iblanks = cut_holes(self.grids)
         self.igbp_sets = [
             find_igbps(g, gi, self.iblanks[gi], cfg.fringe_layers)
-            for gi, g in enumerate(grids)
+            for gi, g in enumerate(self.grids)
         ]
 
     def own_igbps(self, partition: Partition, rank: int):
@@ -243,6 +313,88 @@ def _shared_face(a, b) -> int:
     return overlap if touch_axis is not None else 0
 
 
+@dataclass
+class _EpochAccum:
+    """Accumulates sub-chunks of one epoch into a single EpochResult.
+
+    The per-rank :class:`repro.machine.metrics.RankMetrics` accumulators
+    are *carried* from chunk to chunk
+    (``Simulator(initial_metrics=...)``), so the epoch's counters see
+    exactly the same additions in exactly the same order as an unsplit
+    run — the rollup built at :meth:`finish` is bit-identical, not just
+    close, which the checkpointing bit-identity tests pin.
+    """
+
+    partition: Partition
+    first_step: int          # absolute step (incl. warmup)
+    planned: int             # steps this epoch will cover
+    steps_done: int = 0
+    per_step: list = field(default_factory=list)  # one I(p) row per step
+    search_total: int = 0
+    orphans_total: int = 0
+    #: Per-rank virtual clocks at the last completed sub-chunk; carried
+    #: into the next sub-chunk's Simulator so the split epoch's virtual
+    #: timeline is continuous (and bit-identical to the unsplit run).
+    clocks: list | None = None
+    #: Per-rank RankMetrics carried across sub-chunks (see class doc).
+    metrics: list | None = None
+
+    @property
+    def base(self) -> float:
+        """Epoch-local virtual time already covered (0.0 at epoch start)."""
+        return max(self.clocks) if self.clocks else 0.0
+
+    def add(self, out, nsteps: int) -> None:
+        nprocs = self.partition.nprocs
+        mat = np.zeros((nsteps, nprocs), dtype=np.int64)
+        for rank, stats in enumerate(out.returns):
+            for s, st in enumerate(stats):
+                mat[s, rank] = st.igbps_received
+                self.search_total += st.search_steps
+                self.orphans_total += st.orphans
+        for s in range(nsteps):
+            self.per_step.append(mat[s])
+        self.metrics = list(out.metrics.ranks)
+        self.clocks = [rm.final_clock for rm in out.metrics.ranks]
+        self.steps_done += nsteps
+
+    def finish(self) -> EpochResult:
+        igbp = IgbpRollup()
+        for row in self.per_step:
+            igbp.record(row)
+        if self.metrics is not None:
+            rollup = PhaseRollup.from_metrics(MachineMetrics(self.metrics))
+        else:
+            rollup = PhaseRollup(self.partition.nprocs)
+        return EpochResult(
+            partition=self.partition,
+            first_step=self.first_step,
+            nsteps=self.steps_done,
+            elapsed=self.base,
+            rollup=rollup,
+            igbp=igbp,
+            search_steps_total=self.search_total,
+            orphans_total=self.orphans_total,
+        )
+
+
+@dataclass
+class _DriverState:
+    """Everything the driver needs to continue (and to checkpoint)."""
+
+    step: int                       # next absolute step (incl. warmup)
+    partition: Partition
+    rebalancer: DynamicRebalancer
+    cache: RestartCache | None
+    epochs: list = field(default_factory=list)
+    recoveries: list = field(default_factory=list)
+    #: Global virtual time at the current epoch's origin — mirrors the
+    #: tracer offset, and works identically with ``tracer=None``.
+    vt: float = 0.0
+    #: Partial epoch in flight (None exactly at epoch boundaries).
+    epoch: _EpochAccum | None = None
+
+
 class OverflowD1:
     """Run a :class:`CaseConfig` on N simulated nodes.
 
@@ -250,13 +402,57 @@ class OverflowD1:
     for the measured epochs (warm-up is excluded, matching the paper's
     statistics).  With ``tracer=None`` (default) nothing is recorded
     and the simulated timings are bit-identical.
+
+    Resilience parameters (all optional; defaults reproduce the
+    historical infallible-machine behaviour exactly):
+
+    fault_plan:
+        A :class:`repro.machine.faults.FaultPlan`, a fault-spec string
+        (``"rank=3@step=40"``), or a list of specs/strings.  ``step``
+        triggers count *measured* timesteps (warm-up excluded); ``t``
+        triggers are global measured virtual seconds; ``phase`` triggers
+        count ``set_phase`` barriers over measured steps.
+    checkpoint_every:
+        Snapshot the full driver state every N measured steps.
+        Checkpoint boundaries may fall inside an epoch; carried clocks
+        keep the run bit-identical either way.
+    checkpoint_store:
+        A :class:`repro.resilience.checkpoint.CheckpointStore` (or a
+        directory path) that persists checkpoints to disk.  Without it,
+        checkpoints stay in memory (still usable for recovery).
+    recovery_policy:
+        Modeled restore/repartition costs and the detection timeout
+        (:class:`repro.resilience.recovery.RecoveryPolicy`).
     """
 
-    def __init__(self, config: CaseConfig, tracer=None):
+    def __init__(
+        self,
+        config: CaseConfig,
+        tracer=None,
+        fault_plan=None,
+        checkpoint_every: int | None = None,
+        checkpoint_store=None,
+        recovery_policy: RecoveryPolicy | None = None,
+    ):
         self.config = config
         self.tracer = (
             tracer if tracer is not None and tracer.enabled else None
         )
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        elif isinstance(fault_plan, (list, tuple)):
+            fault_plan = FaultPlan(fault_plan)
+        self.fault_plan = fault_plan if fault_plan else None
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.checkpoint_every = checkpoint_every
+        if isinstance(checkpoint_store, (str, Path)):
+            checkpoint_store = CheckpointStore(checkpoint_store)
+        self.checkpoint_store = checkpoint_store
+        self.policy = recovery_policy or RecoveryPolicy()
+        self._pending_faults: list[FaultSpec] = []
+        self._steps_done = 0       # measured steps actually executed
+        self._last_ckpt: Checkpoint | None = None
 
     # ------------------------------------------------------------------
 
@@ -271,72 +467,352 @@ class OverflowD1:
         # IGBPs (keyed by receiver grid + point id), so it survives
         # repartitioning just as block data redistributed by a real
         # dynamic rebalance would.
-        shared_cache = RestartCache() if cfg.use_restart else None
-        caches = [shared_cache] * nprocs
+        cache = RestartCache() if cfg.use_restart else None
         world = _WorldState(cfg)
-        result = RunResult(
-            case=cfg.name,
-            machine=cfg.machine.name,
-            nprocs=nprocs,
-            nsteps=cfg.nsteps,
-        )
 
         # Warm-up: the paper's statistics exclude preprocessing, and the
         # first connectivity solve (everything searched from scratch) is
         # exactly that; these steps warm the nth-level-restart caches
-        # and their metrics are discarded.
+        # and their metrics are discarded.  Warm-up is never traced,
+        # never checkpointed and never faulted.
         if cfg.warmup_steps:
-            # Warm-up is never traced: the paper's statistics exclude it.
-            self._run_epoch(world, partition, caches, 0, cfg.warmup_steps,
-                            tracer=None)
+            self._run_chunk(
+                world, partition, cache, 0, cfg.warmup_steps,
+                clocks=None, tracer=None, fault_plan=None,
+            )
 
-        tracer = self.tracer
-        step = cfg.warmup_steps
-        last = cfg.warmup_steps + cfg.nsteps
-        while step < last:
-            remaining = last - step
-            if math.isinf(cfg.f0):
-                epoch_steps = remaining
-            else:
-                epoch_steps = min(cfg.lb_check_interval, remaining)
-            if tracer is not None:
-                tracer.mark(
-                    0.0, "epoch",
-                    first_step=step - cfg.warmup_steps,
-                    nsteps=epoch_steps,
-                    procs_per_grid=list(partition.procs_per_grid),
-                )
-            epoch = self._run_epoch(world, partition, caches, step,
-                                    epoch_steps, tracer=tracer)
-            result.epochs.append(epoch)
-            rebalancer.record_epoch(epoch.igbp)
-            step += epoch_steps
-            if tracer is not None:
-                tracer.advance(epoch.elapsed)
-            new = rebalancer.maybe_rebalance(partition, step)
-            if new is not None:
-                partition = new
-                if tracer is not None:
-                    tracer.mark(
-                        0.0, "rebalance",
-                        step=step - cfg.warmup_steps,
-                        procs_per_grid=list(partition.procs_per_grid),
-                    )
-        return result
+        state = _DriverState(
+            step=cfg.warmup_steps,
+            partition=partition,
+            rebalancer=rebalancer,
+            cache=cache,
+        )
+        self._pending_faults = (
+            list(self.fault_plan.faults) if self.fault_plan else []
+        )
+        self._steps_done = 0
+        if self.fault_plan is not None:
+            # Implicit step-0 restore point: recovery works even before
+            # the first periodic checkpoint (or with checkpointing off).
+            self._last_ckpt = self._snapshot(state, world)
+        return self._main_loop(state, world)
+
+    def resume(self, checkpoint) -> RunResult:
+        """Continue a run from a checkpoint (path, bytes-level
+        :class:`Checkpoint`, or store's latest).
+
+        The resumed run's :class:`RunResult` covers the *whole* run —
+        restored epochs plus the continuation — and, on the same
+        processor count with no faults, is bit-identical to the
+        uninterrupted run.
+        """
+        if isinstance(checkpoint, (str, Path)):
+            checkpoint = Checkpoint.load(checkpoint)
+        data = checkpoint.unpack()
+        cfg = data["config"]
+        if cfg.name != self.config.name:
+            raise ValueError(
+                f"checkpoint is for case {cfg.name!r}, "
+                f"driver built for {self.config.name!r}"
+            )
+        self.config = cfg
+        state: _DriverState = data["driver"]
+        world = _WorldState.__new__(_WorldState)
+        world.config = cfg
+        world.reference = list(cfg.grids)
+        world.grids = list(cfg.grids)
+        world.restore(data["world"]["t"], data["world"]["xyz"])
+        if self.tracer is not None and state.vt > 0:
+            # Align the trace origin with the restored virtual time so
+            # resumed spans continue the original timeline.
+            self.tracer.advance(state.vt)
+        self._pending_faults = (
+            list(self.fault_plan.faults) if self.fault_plan else []
+        )
+        self._steps_done = 0
+        self._last_ckpt = checkpoint
+        return self._main_loop(state, world)
 
     # ------------------------------------------------------------------
 
-    def _run_epoch(
+    def _main_loop(self, state: _DriverState, world: _WorldState) -> RunResult:
+        cfg = self.config
+        last = cfg.warmup_steps + cfg.nsteps
+        while state.step < last or state.epoch is not None:
+            try:
+                self._advance(state, world, last)
+            except RankFailure as failure:
+                state = self._recover(state, world, failure)
+        return RunResult(
+            case=cfg.name,
+            machine=cfg.machine.name,
+            nprocs=cfg.machine.nodes,
+            nsteps=cfg.nsteps,
+            epochs=state.epochs,
+            recoveries=state.recoveries,
+            wall_elapsed=state.vt,
+        )
+
+    def _advance(self, state: _DriverState, world: _WorldState, last: int) -> None:
+        """Run one sub-chunk; commit the epoch when it completes."""
+        cfg = self.config
+        tracer = self.tracer
+        if state.epoch is None:
+            remaining = last - state.step
+            planned = (
+                remaining
+                if math.isinf(cfg.f0)
+                else min(cfg.lb_check_interval, remaining)
+            )
+            if tracer is not None:
+                tracer.mark(
+                    0.0, "epoch",
+                    first_step=state.step - cfg.warmup_steps,
+                    nsteps=planned,
+                    procs_per_grid=list(state.partition.procs_per_grid),
+                )
+            state.epoch = _EpochAccum(
+                partition=state.partition,
+                first_step=state.step,
+                planned=planned,
+            )
+        acc = state.epoch
+        epoch_end = acc.first_step + acc.planned
+        chunk_end = epoch_end
+        if self.checkpoint_every:
+            k = self.checkpoint_every
+            measured = state.step - cfg.warmup_steps
+            next_ckpt = cfg.warmup_steps + (measured // k + 1) * k
+            chunk_end = min(chunk_end, next_ckpt)
+        nsteps = chunk_end - state.step
+
+        out = self._run_chunk(
+            world, state.partition, state.cache, state.step, nsteps,
+            clocks=acc.clocks, metrics=acc.metrics, tracer=tracer,
+            fault_plan=self._chunk_fault_plan(state, nsteps),
+        )
+        acc.add(out, nsteps)
+        state.step = chunk_end
+        self._steps_done += nsteps
+
+        if state.step == epoch_end:
+            epoch = acc.finish()
+            state.epochs.append(epoch)
+            state.rebalancer.record_epoch(epoch.igbp)
+            state.epoch = None
+            if tracer is not None:
+                tracer.advance(epoch.elapsed)
+            state.vt += epoch.elapsed
+            new = state.rebalancer.maybe_rebalance(state.partition, state.step)
+            if new is not None:
+                state.partition = new
+                if tracer is not None:
+                    tracer.mark(
+                        0.0, "rebalance",
+                        step=state.step - cfg.warmup_steps,
+                        procs_per_grid=list(new.procs_per_grid),
+                    )
+
+        if (
+            self.checkpoint_every
+            and (state.step - cfg.warmup_steps) % self.checkpoint_every == 0
+            and state.step < last
+        ):
+            ckpt = self._snapshot(state, world)
+            self._last_ckpt = ckpt
+            if self.checkpoint_store is not None:
+                self.checkpoint_store.write(ckpt)
+            if tracer is not None:
+                tracer.mark(
+                    0.0, "checkpoint",
+                    step=state.step - cfg.warmup_steps,
+                    nbytes=ckpt.nbytes,
+                )
+
+    # ------------------------------------------------------------------
+    # fault plumbing
+
+    def _chunk_fault_plan(self, state: _DriverState, nsteps: int) -> FaultPlan | None:
+        """Translate pending driver-level faults into chunk-local triggers."""
+        if not self._pending_faults:
+            return None
+        cfg = self.config
+        specs = []
+        for f in self._pending_faults:
+            if f.rank >= state.partition.nprocs:
+                continue  # rank id no longer exists after a shrink
+            if f.step is not None:
+                abs_step = cfg.warmup_steps + f.step
+                if state.step <= abs_step < state.step + nsteps:
+                    specs.append(FaultSpec(
+                        rank=f.rank,
+                        phase_index=PHASES_PER_STEP * (abs_step - state.step),
+                    ))
+            elif f.time is not None:
+                specs.append(FaultSpec(
+                    rank=f.rank, time=max(0.0, f.time - state.vt)
+                ))
+            else:
+                local = f.phase_index - PHASES_PER_STEP * self._steps_done
+                if 0 <= local < PHASES_PER_STEP * nsteps:
+                    specs.append(FaultSpec(rank=f.rank, phase_index=local))
+        return FaultPlan(specs) if specs else None
+
+    def _recover(
+        self, state: _DriverState, world: _WorldState, failure: RankFailure
+    ) -> _DriverState:
+        """Detection -> restore -> repartition; returns the new state."""
+        cfg = self.config
+        tracer = self.tracer
+        policy = self.policy
+        old_n = state.partition.nprocs
+
+        if len(state.recoveries) >= policy.max_recoveries:
+            raise failure
+        ckpt = self._last_ckpt
+        if ckpt is None:
+            raise failure  # no restore point: surface the failure
+
+        # 1. The timeline reaches the failure point (failure.time is
+        # epoch-local; the tracer offset sits at the epoch origin).
+        t_fail_local = failure.time
+        vt_fail = state.vt + t_fail_local
+        if tracer is not None:
+            tracer.advance(t_fail_local)
+            tracer.mark(
+                0.0, "recovery",
+                failed_ranks=list(failure.failed_ranks),
+                step=state.step - cfg.warmup_steps,
+            )
+
+        # 2. Failure detection: survivors agree on the dead set.
+        dead, t_detect = run_failure_detection(
+            cfg.machine.with_nodes(old_n),
+            failure.failed_ranks,
+            tracer=tracer,
+            timeout=policy.detection_timeout,
+        )
+        if tracer is not None:
+            tracer.advance(t_detect)
+        dead_set = set(dead)
+        self._pending_faults = [
+            f for f in self._pending_faults if f.rank not in dead_set
+        ]
+
+        n_new = old_n - len(dead)
+        if n_new < len(cfg.grids):
+            # Not enough survivors to give every grid a processor.
+            raise failure
+
+        # 3. Restore the last checkpoint (modeled read cost).
+        data = ckpt.unpack()
+        restored: _DriverState = data["driver"]
+        world.restore(data["world"]["t"], data["world"]["xyz"])
+        restored.recoveries = state.recoveries  # superset of checkpointed
+        t_restore = policy.restore_latency + ckpt.nbytes / policy.restore_bandwidth
+        if tracer is not None:
+            for r in range(old_n):
+                if r not in dead_set:
+                    tracer.phase(r, 0.0, "restore")
+                    tracer.op(r, "restore", "compute", 0.0, t_restore)
+            tracer.advance(t_restore)
+
+        # A restored partial epoch ran under the pre-failure partition;
+        # the shrink forces an epoch boundary, so commit it as a short
+        # epoch (its spans already sit at the right timeline position).
+        if restored.epoch is not None and restored.epoch.steps_done > 0:
+            partial = restored.epoch.finish()
+            restored.epochs.append(partial)
+            restored.rebalancer.record_epoch(partial.igbp)
+        restored.epoch = None
+
+        # 4. Repartition: Algorithm 1 over the surviving processor set,
+        # survivors renumbered contiguously (ULFM shrink).
+        new_partition = build_partition(
+            [g.dims for g in cfg.grids], old_n, exclude_ranks=dead
+        )
+        t_rep = policy.repartition_seconds
+        if tracer is not None:
+            for r in range(n_new):
+                tracer.phase(r, 0.0, "repartition")
+                tracer.op(r, "repartition", "compute", 0.0, t_rep)
+            tracer.advance(t_rep)
+        restored.partition = new_partition
+        restored.vt = vt_fail + t_detect + t_restore + t_rep
+
+        record = RecoveryRecord(
+            failed_ranks=dead,
+            nprocs_before=old_n,
+            nprocs_after=n_new,
+            step_failed=state.step - cfg.warmup_steps,
+            step_restored=restored.step - cfg.warmup_steps,
+            t_failure=vt_fail,
+            t_detect=t_detect,
+            t_restore=t_restore,
+            t_repartition=t_rep,
+            checkpoint_bytes=ckpt.nbytes,
+            procs_per_grid=new_partition.procs_per_grid,
+        )
+        restored.recoveries.append(record)
+        if tracer is not None:
+            tracer.mark(
+                0.0, "recovered",
+                step=record.step_restored,
+                nprocs=n_new,
+                procs_per_grid=list(new_partition.procs_per_grid),
+            )
+
+        # The post-recovery state is the new restore point: any later
+        # failure must not resurrect the dead ranks.
+        self._last_ckpt = self._snapshot(restored, world)
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.write(self._last_ckpt)
+        return restored
+
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def _snapshot(self, state: _DriverState, world: _WorldState) -> Checkpoint:
+        """Serialise the full driver state (deep-copy semantics)."""
+        cfg = self.config
+        meta = {
+            "case": cfg.name,
+            "machine": cfg.machine.name,
+            "step": state.step,
+            "measured_step": state.step - cfg.warmup_steps,
+            "nprocs": state.partition.nprocs,
+            "vt": state.vt + (state.epoch.base if state.epoch else 0.0),
+            "recoveries": len(state.recoveries),
+        }
+        return Checkpoint.pack(meta, {
+            "config": cfg,
+            "driver": state,
+            "world": {"t": world.time, "xyz": [g.xyz for g in world.grids]},
+        })
+
+    # ------------------------------------------------------------------
+
+    def _run_chunk(
         self,
         world: _WorldState,
         partition: Partition,
-        caches,
+        cache,
         first_step: int,
         nsteps: int,
+        clocks=None,
+        metrics=None,
         tracer=None,
-    ) -> EpochResult:
+        fault_plan=None,
+    ):
+        """Simulate ``nsteps`` timesteps at a fixed partition.
+
+        ``clocks``/``metrics`` warm-start the per-rank virtual clocks
+        and counter accumulators (continuing a split epoch); returns the
+        raw :class:`repro.machine.scheduler.SimulationResult`.
+        """
         cfg = self.config
         nprocs = partition.nprocs
+        caches = [cache] * nprocs
         neighbors = _halo_neighbors(partition)
         dcf_cfg = DcfConfig(
             search_lists=cfg.search_lists, use_restart=cfg.use_restart
@@ -447,28 +923,39 @@ class OverflowD1:
                 yield from comm.barrier()
             return stats_out
 
-        sim = Simulator(cfg.machine.with_nodes(nprocs), tracer=tracer)
-        sim.spawn_all(program)
-        out = sim.run()
-
-        igbp = IgbpRollup()
-        per_step = np.zeros((nsteps, nprocs), dtype=np.int64)
-        search_total = 0
-        orphans_total = 0
-        for rank, stats in enumerate(out.returns):
-            for s, st in enumerate(stats):
-                per_step[s, rank] = st.igbps_received
-                search_total += st.search_steps
-                orphans_total += st.orphans
-        for s in range(nsteps):
-            igbp.record(per_step[s])
-        return EpochResult(
-            partition=partition,
-            first_step=first_step,
-            nsteps=nsteps,
-            elapsed=out.elapsed,
-            rollup=PhaseRollup.from_metrics(out.metrics),
-            igbp=igbp,
-            search_steps_total=search_total,
-            orphans_total=orphans_total,
+        sim = Simulator(
+            cfg.machine.with_nodes(nprocs),
+            tracer=tracer,
+            fault_plan=fault_plan,
+            initial_clocks=clocks,
+            initial_metrics=metrics,
         )
+        sim.spawn_all(program)
+        return sim.run()
+
+
+def resume_run(
+    checkpoint,
+    tracer=None,
+    fault_plan=None,
+    checkpoint_every: int | None = None,
+    checkpoint_store=None,
+    recovery_policy: RecoveryPolicy | None = None,
+) -> RunResult:
+    """Resume an OVERFLOW-D1 run from a checkpoint file/object.
+
+    Convenience wrapper: reads the case config out of the checkpoint,
+    builds the driver and continues.  Used by ``repro resume``.
+    """
+    if isinstance(checkpoint, (str, Path)):
+        checkpoint = Checkpoint.load(checkpoint)
+    cfg = pickle.loads(checkpoint.sections["config"])
+    driver = OverflowD1(
+        cfg,
+        tracer=tracer,
+        fault_plan=fault_plan,
+        checkpoint_every=checkpoint_every,
+        checkpoint_store=checkpoint_store,
+        recovery_policy=recovery_policy,
+    )
+    return driver.resume(checkpoint)

@@ -35,7 +35,8 @@ from repro.machine.spec import (
     MACHINE_PRESETS,
 )
 from repro.machine.event import Message, Mailbox, ANY_SOURCE, ANY_TAG
-from repro.machine.simmpi import MAX_USER_TAG, Comm, Request, Status
+from repro.machine.simmpi import MAX_USER_TAG, Comm, Request, Status, describe_tag
+from repro.machine.faults import FaultSpec, FaultPlan, RankFailure
 from repro.machine.scheduler import Simulator, SimulationResult, DeadlockError
 from repro.machine.metrics import RankMetrics, MachineMetrics
 
@@ -55,6 +56,10 @@ __all__ = [
     "Comm",
     "Request",
     "Status",
+    "describe_tag",
+    "FaultSpec",
+    "FaultPlan",
+    "RankFailure",
     "Simulator",
     "SimulationResult",
     "DeadlockError",

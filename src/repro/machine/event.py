@@ -90,3 +90,12 @@ class Mailbox:
     def pending(self) -> list[Message]:
         """Snapshot of unmatched messages (for deadlock diagnostics)."""
         return list(self._messages)
+
+    def drain(self) -> list[Message]:
+        """Remove and return every unmatched message.
+
+        Used when a rank fail-stops: its mailbox contents are lost with
+        it (the returned list feeds fault diagnostics only).
+        """
+        out, self._messages = self._messages, []
+        return out

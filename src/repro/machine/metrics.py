@@ -18,13 +18,28 @@ from dataclasses import dataclass, field
 KINDS = ("compute", "comm", "wait")
 
 
+def _kind_seconds() -> defaultdict:
+    """kind -> seconds (module-level so RankMetrics pickles)."""
+    return defaultdict(float)
+
+
+def _phase_time() -> defaultdict:
+    """phase -> kind -> seconds (module-level so RankMetrics pickles)."""
+    return defaultdict(_kind_seconds)
+
+
 @dataclass
 class RankMetrics:
-    """Accounting for a single rank."""
+    """Accounting for a single rank.
+
+    Picklable by design: checkpoints
+    (:mod:`repro.resilience.checkpoint`) snapshot in-flight epoch
+    accumulators which carry these objects across scheduler runs.
+    """
 
     rank: int
-    time: dict = field(default_factory=lambda: defaultdict(lambda: defaultdict(float)))
-    flops: dict = field(default_factory=lambda: defaultdict(float))
+    time: dict = field(default_factory=_phase_time)
+    flops: dict = field(default_factory=_kind_seconds)
     messages_sent: int = 0
     bytes_sent: int = 0
     messages_received: int = 0

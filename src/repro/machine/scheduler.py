@@ -10,21 +10,45 @@ conservative-PDES safety argument — so execution is deterministic and
 independent of host scheduling.
 
 Ties are broken by rank id, making runs byte-for-byte reproducible.
+
+Two extensions support resilience experiments (:mod:`repro.resilience`):
+
+* **Fault injection** — a :class:`repro.machine.faults.FaultPlan`
+  fail-stops ranks at a virtual time or phase barrier.  A killed rank's
+  mailbox is drained, messages addressed to it are black-holed, and,
+  once no survivor can make progress, the scheduler raises a typed
+  :class:`repro.machine.faults.RankFailure` (never a misleading
+  :class:`DeadlockError`).
+* **Warm-started clocks** — ``initial_clocks`` lets a driver split one
+  logical epoch into several scheduler runs without perturbing virtual
+  time: because matching, waking and tie-breaking depend only on
+  virtual clocks (not host order), a run resumed from carried clocks is
+  bit-identical to the unsplit run.  This is what makes checkpointing
+  timing-neutral.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
 from repro.machine.event import ANY_SOURCE, ANY_TAG, Mailbox, Message
+from repro.machine.faults import FaultPlan, RankFailure
 from repro.machine.metrics import MachineMetrics, RankMetrics
-from repro.machine.simmpi import Comm
+from repro.machine.simmpi import Comm, describe_tag
 from repro.machine.spec import MachineSpec
 
 
 class DeadlockError(RuntimeError):
-    """All live ranks are blocked on receives that can never complete."""
+    """Live ranks are blocked on receives that can never complete.
+
+    Distinct from :class:`repro.machine.faults.RankFailure`: a deadlock
+    is a protocol bug among healthy ranks, a rank failure is injected
+    fail-stop loss.  The message reports every blocked rank, what it is
+    waiting on (source, tag — with reserved tags named) and what its
+    mailbox still holds, so protocol bugs are diagnosable from the
+    exception alone.
+    """
 
 
 @dataclass
@@ -34,11 +58,12 @@ class SimulationResult:
     elapsed: float
     returns: list[Any]
     metrics: MachineMetrics
+    failed_ranks: tuple[int, ...] = ()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SimulationResult(elapsed={self.elapsed:.6g}s, "
-            f"ranks={self.metrics.nranks})"
+            f"ranks={self.metrics.nranks}, failed={list(self.failed_ranks)})"
         )
 
 
@@ -54,8 +79,12 @@ class _RankState:
         "phase",
         "metrics",
         "alive",
+        "failed",
         "retval",
         "send_value",
+        "fault_time",
+        "fault_phase",
+        "phases_set",
     )
 
     def __init__(self, rank: int, gen: Generator):
@@ -67,8 +96,12 @@ class _RankState:
         self.phase = "default"
         self.metrics = RankMetrics(rank)
         self.alive = True
+        self.failed = False  # fail-stopped by the fault plan
         self.retval: Any = None
         self.send_value: Any = None  # value to feed into the next gen.send
+        self.fault_time: float | None = None
+        self.fault_phase: int | None = None
+        self.phases_set = 0  # set_phase calls executed so far
 
 
 class Simulator:
@@ -77,6 +110,23 @@ class Simulator:
     Programs are generator functions ``program(comm, *args) -> Generator``;
     their return value (via ``return``) is collected into
     :attr:`SimulationResult.returns` indexed by rank.
+
+    Parameters
+    ----------
+    fault_plan:
+        Optional :class:`repro.machine.faults.FaultPlan`; only its
+        scheduler-level triggers (virtual time / phase index) are
+        enacted — driver-level ``step`` triggers are ignored here.
+    initial_clocks:
+        Optional per-rank starting clocks (one per spawned rank).  Used
+        to resume a split epoch: virtual time continues exactly where
+        the previous run's clocks ended.
+    initial_metrics:
+        Optional per-rank :class:`repro.machine.metrics.RankMetrics` to
+        continue accumulating into (one per spawned rank).  A split
+        epoch that carries both clocks and metrics produces counters
+        bit-identical to the unsplit run — the same additions happen in
+        the same order on the same accumulators.
     """
 
     def __init__(
@@ -84,6 +134,9 @@ class Simulator:
         machine: MachineSpec,
         trace: Callable[[str], None] | None = None,
         tracer=None,
+        fault_plan: FaultPlan | None = None,
+        initial_clocks: list[float] | None = None,
+        initial_metrics: list[RankMetrics] | None = None,
     ):
         self.machine = machine
         self.trace = trace
@@ -93,7 +146,16 @@ class Simulator:
         self._tracer = (
             tracer if tracer is not None and tracer.enabled else None
         )
+        self.fault_plan = fault_plan if fault_plan else None
+        self.initial_clocks = (
+            list(initial_clocks) if initial_clocks is not None else None
+        )
+        self.initial_metrics = (
+            list(initial_metrics) if initial_metrics is not None else None
+        )
         self._programs: list[tuple[Callable, tuple, dict]] = []
+        self._failed: dict[int, float] = {}  # rank -> virtual kill time
+        self.dropped_messages = 0  # sends black-holed at dead ranks
 
     # ------------------------------------------------------------------
 
@@ -113,36 +175,83 @@ class Simulator:
 
     # ------------------------------------------------------------------
 
-    def run(self, max_events: int = 500_000_000) -> SimulationResult:
-        """Execute all rank programs to completion; returns the result."""
+    def run(
+        self,
+        max_events: int = 500_000_000,
+        raise_on_failure: bool = True,
+    ) -> SimulationResult:
+        """Execute all rank programs to completion; returns the result.
+
+        With ``raise_on_failure=False`` a run in which ranks were
+        fail-stopped still returns (failed ranks contribute ``None``
+        returns and appear in :attr:`SimulationResult.failed_ranks`);
+        survivors blocked forever still raise :class:`RankFailure`,
+        because their returns would be silently missing otherwise.
+        """
         n = len(self._programs)
         if n == 0:
             raise ValueError("no rank programs spawned")
+        if self.initial_clocks is not None and len(self.initial_clocks) != n:
+            raise ValueError(
+                f"initial_clocks has {len(self.initial_clocks)} entries "
+                f"for {n} ranks"
+            )
+        if self.initial_metrics is not None and len(self.initial_metrics) != n:
+            raise ValueError(
+                f"initial_metrics has {len(self.initial_metrics)} entries "
+                f"for {n} ranks"
+            )
         states = []
         for rank, (program, args, kwargs) in enumerate(self._programs):
             comm = Comm(rank, n, self.machine)
-            states.append(_RankState(rank, program(comm, *args, **kwargs)))
+            state = _RankState(rank, program(comm, *args, **kwargs))
+            if self.initial_clocks is not None:
+                state.clock = float(self.initial_clocks[rank])
+            if self.initial_metrics is not None:
+                state.metrics = self.initial_metrics[rank]
+            if self.fault_plan is not None:
+                state.fault_time = self.fault_plan.time_fault(rank)
+                state.fault_phase = self.fault_plan.phase_fault(rank)
+            states.append(state)
         self._states = states
 
         events = 0
         while True:
-            state = self._pick_next(states)
-            if state is None:
+            picked = self._pick_next(states)
+            if picked is None:
+                # No runnable or wakeable rank.  Blocked ranks whose
+                # fault time is due die now (virtual time would pass
+                # their fail point while the machine idles).
+                if self._kill_overdue(states):
+                    continue
                 break
+            state, key_time = picked
+            if state.fault_time is not None and key_time >= state.fault_time:
+                self._kill(state, max(state.clock, state.fault_time))
+                continue
             events += 1
             if events > max_events:
                 raise RuntimeError(f"simulation exceeded {max_events} events")
             self._step(state)
 
-        dead = [s for s in states if s.alive]
-        if dead:
-            detail = "; ".join(
-                f"rank {s.rank} blocked on recv(src={s.blocked_on[0]}, "
-                f"tag={s.blocked_on[1]}) at t={s.clock:.6g} "
-                f"(mailbox: {[(m.src, m.tag) for m in s.mailbox.pending()]})"
-                for s in dead
+        blocked = [s for s in states if s.alive]
+        if self._failed and (blocked or raise_on_failure):
+            raise RankFailure(
+                failed=dict(self._failed),
+                time=max(s.clock for s in states),
+                blocked=[
+                    (s.rank, s.blocked_on[0], s.blocked_on[1])
+                    for s in blocked
+                ],
+                completed=[
+                    s.rank
+                    for s in states
+                    if not s.alive and not s.failed
+                ],
+                nranks=n,
             )
-            raise DeadlockError(f"deadlock among {len(dead)} ranks: {detail}")
+        if blocked:
+            raise DeadlockError(self._deadlock_message(states, blocked))
 
         for s in states:
             s.metrics.final_clock = s.clock
@@ -151,12 +260,73 @@ class Simulator:
             elapsed=metrics.elapsed,
             returns=[s.retval for s in states],
             metrics=metrics,
+            failed_ranks=tuple(sorted(self._failed)),
         )
 
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _pick_next(states: list[_RankState]) -> _RankState | None:
+    def _deadlock_message(states: list[_RankState], blocked) -> str:
+        """Diagnostic text: who is blocked, on what, with what pending."""
+        n = len(states)
+        completed = sum(1 for s in states if not s.alive and not s.failed)
+        lines = [
+            f"deadlock: {len(blocked)} of {n} ranks blocked forever "
+            f"({completed} completed normally)"
+        ]
+        for s in blocked:
+            src, tag = s.blocked_on
+            src_txt = "ANY_SOURCE" if src == ANY_SOURCE else str(src)
+            pending = [
+                f"(src={m.src}, tag={describe_tag(m.tag)})"
+                for m in s.mailbox.pending()
+            ]
+            lines.append(
+                f"  rank {s.rank} blocked on recv(src={src_txt}, "
+                f"tag={describe_tag(tag)}) at t={s.clock:.6g}; "
+                f"mailbox holds {len(pending)} unmatched: "
+                f"[{', '.join(pending)}]"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+
+    def _kill(self, state: _RankState, time: float) -> None:
+        """Fail-stop one rank: close its program, drain its mailbox."""
+        state.clock = time
+        state.alive = False
+        state.failed = True
+        state.blocked_on = None
+        state.gen.close()
+        lost = state.mailbox.drain()
+        self.dropped_messages += len(lost)
+        self._failed[state.rank] = time
+        if self._tracer is not None:
+            self._tracer.mark(
+                time, "rank_failure", rank=state.rank, lost_messages=len(lost)
+            )
+        if self.trace is not None:  # pragma: no cover - debugging aid
+            self.trace(
+                f"t={time:.6g} rank{state.rank} FAIL-STOP "
+                f"({len(lost)} mailbox messages lost)"
+            )
+
+    def _kill_overdue(self, states: list[_RankState]) -> bool:
+        """Kill blocked ranks whose virtual-time fault is due; True if any."""
+        killed = False
+        horizon = max((s.clock for s in states), default=0.0)
+        for s in states:
+            if s.alive and s.fault_time is not None:
+                self._kill(s, max(horizon, s.fault_time))
+                killed = True
+        return killed
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pick_next(
+        states: list[_RankState],
+    ) -> tuple[_RankState, float] | None:
         """Rank with minimal next-event time (see module docstring)."""
         best: _RankState | None = None
         best_key: tuple[float, int] | None = None
@@ -173,7 +343,9 @@ class Simulator:
                 key = (max(s.clock, msg.arrival_time), s.rank)
             if best_key is None or key < best_key:
                 best, best_key = s, key
-        return best
+        if best is None:
+            return None
+        return best, best_key[0]
 
     def _step(self, state: _RankState) -> None:
         """Advance one rank by one primitive operation."""
@@ -234,6 +406,13 @@ class Simulator:
         elif kind == "now":
             state.send_value = state.clock
         elif kind == "set_phase":
+            if (
+                state.fault_phase is not None
+                and state.phases_set >= state.fault_phase
+            ):
+                self._kill(state, state.clock)
+                return
+            state.phases_set += 1
             old, state.phase = state.phase, op[1]
             state.send_value = old
             if self._tracer is not None:
@@ -259,6 +438,18 @@ class Simulator:
                 state.rank, state.phase, "comm", t0, state.clock,
                 nbytes=nbytes,
             )
+        target = self._states[dst]
+        if target.failed:
+            # Fail-stop semantics: the network can tell nobody is
+            # listening; the message is black-holed (sender still paid
+            # the injection cost, as on a real machine).
+            self.dropped_messages += 1
+            if self.trace is not None:  # pragma: no cover - debugging aid
+                self.trace(
+                    f"t={state.clock:.6g} rank{state.rank} -> DEAD rank{dst} "
+                    f"tag={tag} bytes={nbytes} dropped"
+                )
+            return
         msg = Message(
             src=state.rank,
             dst=dst,
@@ -268,7 +459,7 @@ class Simulator:
             send_time=state.clock,
             arrival_time=arrival,
         )
-        self._states[dst].mailbox.deposit(msg)
+        target.mailbox.deposit(msg)
         if self.trace is not None:  # pragma: no cover - debugging aid
             self.trace(
                 f"t={state.clock:.6g} rank{state.rank} -> rank{dst} "

@@ -24,7 +24,9 @@ never sees them.
 from __future__ import annotations
 
 import math
+import pickle
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Any, Callable, Generator, Iterable
 
 from repro.machine.event import ANY_SOURCE, ANY_TAG
@@ -46,6 +48,50 @@ _TAG_BCAST = _COLL_TAG_BASE + 2
 _TAG_GATHER = _COLL_TAG_BASE + 3
 _TAG_REDUCE = _COLL_TAG_BASE + 4
 _TAG_ALLTOALL = _COLL_TAG_BASE + 5
+#: Reserved tag for the failure-detection heartbeat protocol
+#: (:meth:`Comm.detect_failures`).  Lives in the collective tag space so
+#: no group-translated user tag can ever match a heartbeat.
+_TAG_HEARTBEAT = _COLL_TAG_BASE + 6
+
+#: Payload carried by one heartbeat message ("I am alive"), and its wire
+#: size.  Tiny and fixed so detection cost is independent of app state.
+_HEARTBEAT_NBYTES = 16
+
+_COLL_TAG_NAMES = {
+    _TAG_BCAST: "collective:bcast",
+    _TAG_GATHER: "collective:gather",
+    _TAG_REDUCE: "collective:reduce",
+    _TAG_ALLTOALL: "collective:alltoall",
+    _TAG_HEARTBEAT: "collective:heartbeat",
+}
+
+
+def describe_tag(tag: int) -> str:
+    """Human-readable name for a message tag (for diagnostics).
+
+    Distinguishes user tags, group-offset user tags, barrier rounds and
+    the reserved collective/heartbeat tags so deadlock and failure
+    reports name the protocol a rank is stuck in rather than printing a
+    bare 12-digit integer.
+    """
+    if tag == ANY_TAG:
+        return "ANY"
+    if tag in _COLL_TAG_NAMES:
+        return _COLL_TAG_NAMES[tag]
+    if tag >= _COLL_TAG_BASE:
+        # Barrier rounds use _TAG_BARRIER + k for round k; round 0 is
+        # the only one outside the named-collective table above.
+        k = tag - _TAG_BARRIER
+        if 0 <= k < 64:
+            return f"collective:barrier[round {k}]"
+        return f"reserved:{tag}"
+    if 0 <= tag < MAX_USER_TAG:
+        return f"user:{tag}"
+    if tag >= SubComm._TAG_STRIDE:
+        group = tag // SubComm._TAG_STRIDE
+        user = tag % SubComm._TAG_STRIDE
+        return f"group[{group}]:user:{user}"
+    return f"tag:{tag}"
 
 
 @dataclass
@@ -341,6 +387,77 @@ class Comm:
         return (yield from self.recv(src, tag))
 
     # ------------------------------------------------------------------
+    # failure detection (heartbeat / timeout protocol)
+    # ------------------------------------------------------------------
+
+    def heartbeat_timeout(self) -> float:
+        """Deterministic detection timeout in virtual seconds.
+
+        Generous by construction: covers every peer's heartbeat
+        injection plus several network latencies plus the probe
+        overheads, so on a *healthy* machine no live rank is ever
+        falsely suspected — the protocol has no false positives, only
+        bounded detection delay.
+        """
+        net = self.machine.network
+        return (
+            (self.size + 2) * net.injection_time(_HEARTBEAT_NBYTES)
+            + 4.0 * net.latency
+            + 16 * net.poll_overhead
+        )
+
+    def detect_failures(self, timeout: float | None = None) -> Generator:
+        """Simulated heartbeat/timeout failure detector.
+
+        Each surviving rank broadcasts an "I am alive" heartbeat on the
+        reserved :data:`_TAG_HEARTBEAT` channel, waits out a
+        deterministic ``timeout``, then probes for each peer's
+        heartbeat.  Peers whose heartbeat never arrived are *suspected*
+        dead (their messages were black-holed by the scheduler).  The
+        survivors then agree on the dead set with an allreduce (set
+        union) over a sub-communicator containing only the locally-live
+        ranks — every survivor returns the identical sorted tuple of
+        dead ranks, mirroring a ULFM ``MPI_Comm_agree`` shrink.
+
+        Must only be called when at least the calling rank is alive;
+        safe to call with no failures (returns an empty tuple).
+        """
+        if timeout is None:
+            timeout = self.heartbeat_timeout()
+        # 1. Broadcast heartbeats (sends to dead ranks are black-holed
+        #    by the scheduler at sender cost only — no deadlock risk).
+        for peer in range(self.size):
+            if peer != self.rank:
+                yield from self._send(
+                    peer, _TAG_HEARTBEAT, ("alive", self.rank),
+                    _HEARTBEAT_NBYTES,
+                )
+        # 2. Wait out the detection window.
+        yield from self.elapse(timeout)
+        # 3. Probe: whose heartbeat arrived?
+        suspects: list[int] = []
+        for peer in range(self.size):
+            if peer == self.rank:
+                continue
+            got = yield from self._tryrecv(peer, _TAG_HEARTBEAT)
+            if got is None:
+                suspects.append(peer)
+        # 4. Agreement over the locally-live group.  All survivors
+        #    computed the same suspect set (the detector has no false
+        #    positives and dead ranks' heartbeats reach nobody), so the
+        #    group membership — and hence the SubComm tag offset — is
+        #    identical on every survivor, and the allreduce is safe.
+        live = [r for r in range(self.size) if r == self.rank or r not in suspects]
+        if len(live) > 1:
+            group = self.split(live)
+            agreed = yield from group.allreduce(
+                frozenset(suspects), op=lambda a, b: a | b, nbytes=64
+            )
+        else:
+            agreed = frozenset(suspects)
+        return tuple(sorted(agreed))
+
+    # ------------------------------------------------------------------
     # sub-communicators (the paper's per-grid processor groups)
     # ------------------------------------------------------------------
 
@@ -377,7 +494,31 @@ class Comm:
                 Comm._size_of(k, None) + Comm._size_of(v, None)
                 for k, v in payload.items()
             )
-        return 64  # conservative default for small objects
+        # Arbitrary object (e.g. a dataclass): measure the actual
+        # serialised size instead of guessing a constant.  Hashable
+        # payloads go through a bounded LRU memo so hot paths that
+        # resend the same small object don't re-pickle it every time;
+        # unhashable ones are measured directly.  Unpicklable payloads
+        # keep the old conservative constant.
+        try:
+            hash(payload)
+        except TypeError:
+            return _pickled_size(payload)
+        return _pickled_size_memo(payload)
+
+
+def _pickled_size(payload: Any) -> int:
+    """16-byte envelope + pickled body, or the legacy 64-byte guess if
+    the payload cannot be pickled (e.g. holds a generator or socket)."""
+    try:
+        return 16 + len(pickle.dumps(payload, protocol=4))
+    except Exception:
+        return 64
+
+
+@lru_cache(maxsize=1024)
+def _pickled_size_memo(payload: Any) -> int:
+    return _pickled_size(payload)
 
 
 class SubComm(Comm):

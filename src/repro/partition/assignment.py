@@ -74,13 +74,21 @@ def build_partition(
     procs_per_grid: list[int] | None = None,
     min_procs_constraints: list[int] | None = None,
     dtau: float = 0.1,
+    exclude_ranks=None,
 ) -> Partition:
     """Static load balance + prime-factor decomposition in one call.
 
     ``procs_per_grid`` overrides Algorithm 1 when given (used by tests
     and by the dynamic rebalancer, which computes its own counts).
+
+    ``exclude_ranks`` removes fail-stopped processors before balancing
+    (elastic recovery, :mod:`repro.resilience`): Algorithm 1 runs over
+    the survivor count and the returned :class:`Partition` covers
+    survivor ranks renumbered contiguously ``0..n_survivors-1``
+    (ULFM-style shrink).
     """
     gridpoints = [int(np.prod(d)) for d in grid_dims]
+    excluded = sorted(set(int(r) for r in exclude_ranks or ()))
     balance: StaticBalanceResult | None = None
     if procs_per_grid is None:
         balance = static_balance(
@@ -88,8 +96,15 @@ def build_partition(
             nprocs,
             dtau=dtau,
             min_points_constraints=min_procs_constraints,
+            exclude_ranks=excluded,
         )
         procs_per_grid = list(balance.procs_per_grid)
+    elif excluded:
+        raise ValueError(
+            "exclude_ranks cannot be combined with an explicit "
+            "procs_per_grid (the override already fixes the counts)"
+        )
+    nprocs -= len(excluded)
     if sum(procs_per_grid) != nprocs:
         raise ValueError(
             f"procs_per_grid sums to {sum(procs_per_grid)}, expected {nprocs}"

@@ -70,6 +70,7 @@ def static_balance(
     max_tolerance_iters: int = 400,
     max_perturbations: int = 64,
     min_points_constraints: list[int] | None = None,
+    exclude_ranks=None,
 ) -> StaticBalanceResult:
     """Run Algorithm 1.
 
@@ -85,6 +86,12 @@ def static_balance(
     min_points_constraints:
         Optional per-grid *minimum* processor counts — how Algorithm 2
         re-enters Algorithm 1 "with the above np(n) condition enforced".
+    exclude_ranks:
+        Processors removed from service (fail-stopped nodes, see
+        :mod:`repro.resilience`).  Algorithm 1 runs over the *surviving*
+        processor count ``NP - len(exclude_ranks)``; the returned
+        ``procs_per_grid`` sums to the survivor count.  Rank ids must be
+        unique and in ``[0, nprocs)``.
     max_tolerance_iters / max_perturbations:
         Safety bounds.  If the paper's loop plus perturbation fallback
         still has not converged, a greedy repair adjusts counts by +-1
@@ -96,6 +103,14 @@ def static_balance(
         raise ValueError("no grids")
     if any(g <= 0 for g in gridpoints):
         raise ValueError(f"gridpoint counts must be positive: {gridpoints}")
+    if exclude_ranks:
+        excluded = sorted(set(int(r) for r in exclude_ranks))
+        bad = [r for r in excluded if not (0 <= r < nprocs)]
+        if bad:
+            raise ValueError(
+                f"exclude_ranks out of range [0, {nprocs}): {bad}"
+            )
+        nprocs = nprocs - len(excluded)
     if nprocs < n:
         raise ValueError(
             f"{nprocs} processors cannot cover {n} grids (each grid "
