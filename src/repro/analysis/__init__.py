@@ -1,0 +1,46 @@
+"""Static analysis + runtime sanitization for the deterministic stack.
+
+Two halves (see ``docs/static-analysis.md``):
+
+* :mod:`repro.analysis.lint` — a project-specific AST lint framework
+  (``repro lint``): rule registry with stable ``RPRnnn`` codes,
+  ``# noqa: RPRxxx`` waivers, human and JSON output.  The rules encode
+  invariants no off-the-shelf linter knows: named-tag discipline,
+  no wall-clock/unseeded-RNG in deterministic packages, no unordered
+  iteration feeding message injection, no swallowed failure exceptions.
+* :mod:`repro.analysis.sanitizer` — a runtime shadow layer for the
+  simulated machine (``repro run --sanitize``): message-race witnesses
+  on wildcard receives, tag-collision and reserved-tag policing,
+  collective-sequence cross-checks, finalize-leak detection — all
+  without perturbing virtual time by a single tick.
+"""
+
+from repro.analysis.lint import (
+    Finding,
+    LintReport,
+    Rule,
+    iter_rules,
+    lint_paths,
+    register,
+    rule_catalog,
+)
+from repro.analysis.sanitizer import (
+    FINDING_KINDS,
+    Sanitizer,
+    SanitizerFinding,
+    SanitizerReport,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "iter_rules",
+    "lint_paths",
+    "register",
+    "rule_catalog",
+    "FINDING_KINDS",
+    "Sanitizer",
+    "SanitizerFinding",
+    "SanitizerReport",
+]

@@ -1,0 +1,518 @@
+"""The project lint rules (codes ``RPR001`` – ``RPR007``).
+
+Each rule enforces one invariant the simulated machine depends on; the
+rationale strings below are surfaced verbatim in
+``docs/static-analysis.md``.  Rules are registered with
+:func:`repro.analysis.lint.register` and instantiated fresh per engine
+run, so they may keep per-file state inside ``check``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, LintContext, Rule, register
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Dotted name of an attribute chain (``np.random.rand``) or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _int_literal(node: ast.AST) -> bool:
+    """Is this expression a literal integer (including ``-1``)?"""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return isinstance(node, ast.Constant) and type(node.value) is int
+
+
+def _call_arg(
+    call: ast.Call, position: int, keyword: str
+) -> ast.AST | None:
+    """The argument passed at ``position`` or as ``keyword=``, if any."""
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if len(call.args) > position:
+        return call.args[position]
+    return None
+
+
+def _contains(node: ast.AST, types: tuple) -> bool:
+    return any(isinstance(n, types) for n in ast.walk(node))
+
+
+#: Primitive-op strings whose third tuple element is a message tag.
+_TAG_PRIMITIVES = {"recv", "tryrecv", "iprobe", "drain"}
+
+#: Comm-surface calls -> positional index of their ``tag`` argument.
+_TAGGED_CALLS = {
+    "send": 1,
+    "isend": 1,
+    "recv": 1,
+    "irecv": 1,
+    "iprobe": 1,
+    "drain_recv": 1,
+    "sendrecv": 2,
+}
+
+
+def _is_sorted_wrapped(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"sorted", "min", "max"}
+    )
+
+
+def _unordered_iter_kind(node: ast.AST) -> str | None:
+    """Classify a loop-iterable as hash-/dict-ordered, or None.
+
+    Recognises ``X.items()/.keys()/.values()``, ``set(...)`` /
+    ``frozenset(...)`` calls, set literals/comprehensions, and set
+    algebra (``set(a) - b``) over any of those.  A ``sorted(...)``
+    wrapper makes any of them ordered.
+    """
+    if _is_sorted_wrapped(node):
+        return None
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set literal"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in {
+            "set",
+            "frozenset",
+        }:
+            return f"{node.func.id}()"
+        if isinstance(node.func, ast.Attribute) and node.func.attr in {
+            "items",
+            "keys",
+            "values",
+        }:
+            return f".{node.func.attr}()"
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+    ):
+        return _unordered_iter_kind(node.left) or _unordered_iter_kind(
+            node.right
+        )
+    return None
+
+
+def _is_send_call(node: ast.AST) -> bool:
+    """A comm send (``.send``/``.isend``/``._send``/``.sendrecv``) or a
+    raw ``("inject", ...)`` primitive yield."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in {"send", "isend", "_send", "sendrecv"}:
+            return True
+    if isinstance(node, ast.Yield) and isinstance(node.value, ast.Tuple):
+        elts = node.value.elts
+        if (
+            elts
+            and isinstance(elts[0], ast.Constant)
+            and elts[0].value == "inject"
+        ):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# rules
+
+
+@register
+class RawTagLiteral(Rule):
+    code = "RPR001"
+    name = "raw-tag-literal"
+    summary = (
+        "message-passing calls must use named TAG_* constants, not "
+        "integer tag literals"
+    )
+    rationale = (
+        "The simulated machine partitions its tag space: user tags live "
+        "below MAX_USER_TAG, sub-communicator offsets and collective "
+        "rounds above it.  A literal tag at a call site cannot be "
+        "audited for collisions with the tag constants of other "
+        "subsystems (DCF search/reply, halo exchange, heartbeat); a "
+        "named module-level TAG_* constant can.  Only the tag-space "
+        "authority modules (machine/simmpi.py, machine/event.py) may "
+        "handle raw integers."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not ctx.in_tests and not ctx.is_tag_module
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                pos = _TAGGED_CALLS.get(node.func.attr)
+                if pos is None:
+                    continue
+                tag = _call_arg(node, pos, "tag")
+                if tag is not None and _int_literal(tag):
+                    yield ctx.finding(
+                        tag,
+                        self.code,
+                        f"literal tag in {node.func.attr}() call; use a "
+                        "named TAG_* constant (< MAX_USER_TAG) or "
+                        "ANY_TAG",
+                    )
+            elif isinstance(node, ast.Yield) and isinstance(
+                node.value, ast.Tuple
+            ):
+                elts = node.value.elts
+                if (
+                    len(elts) >= 3
+                    and isinstance(elts[0], ast.Constant)
+                    and elts[0].value in _TAG_PRIMITIVES
+                    and _int_literal(elts[2])
+                ):
+                    yield ctx.finding(
+                        elts[2],
+                        self.code,
+                        f"literal tag in raw ({elts[0].value!r}, ...) "
+                        "primitive; use a named TAG_* constant",
+                    )
+
+
+@register
+class WallClock(Rule):
+    code = "RPR002"
+    name = "wall-clock-in-deterministic-path"
+    summary = (
+        "no wall-clock reads (time.time, datetime.now, ...) in "
+        "deterministic packages"
+    )
+    rationale = (
+        "All time in the simulator is virtual: golden-trace regression "
+        "and bit-identical checkpoint resume assume that rerunning a "
+        "program yields byte-identical timings.  One host-clock read "
+        "in machine/solver/connectivity/resilience/core makes output "
+        "depend on the wall clock of the machine running the test."
+    )
+
+    _CLOCKS = {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "date.today",
+    }
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_deterministic_path and not ctx.in_tests
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name in self._CLOCKS:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"wall-clock read {name}() in a deterministic "
+                        "path; use virtual time (comm.now()) or accept "
+                        "a value from the caller",
+                    )
+
+
+@register
+class UnseededRng(Rule):
+    code = "RPR003"
+    name = "unseeded-rng-in-deterministic-path"
+    summary = (
+        "no unseeded / legacy-global RNG draws in deterministic packages"
+    )
+    rationale = (
+        "Randomised behaviour is allowed (fault plans use it) but must "
+        "flow from an explicit seed: np.random.default_rng(seed).  The "
+        "legacy global numpy RNG and the stdlib random module draw "
+        "from interpreter-global state that other tests mutate, so "
+        "results depend on execution order."
+    )
+
+    _RANDOM_FUNCS = {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "seed",
+        "getrandbits",
+    }
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_deterministic_path and not ctx.in_tests
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name is None:
+                continue
+            head, _, leaf = name.rpartition(".")
+            if head in {"np.random", "numpy.random"}:
+                if leaf == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            "default_rng() without a seed draws OS "
+                            "entropy; pass an explicit seed",
+                        )
+                else:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"legacy global RNG {name}(); use "
+                        "np.random.default_rng(seed)",
+                    )
+            elif head == "random" and leaf in self._RANDOM_FUNCS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"stdlib global RNG {name}(); use "
+                    "np.random.default_rng(seed)",
+                )
+            elif name == "default_rng" and not node.args and not node.keywords:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "default_rng() without a seed draws OS entropy; "
+                    "pass an explicit seed",
+                )
+
+
+@register
+class MutableDefault(Rule):
+    code = "RPR004"
+    name = "mutable-default-argument"
+    summary = "no mutable default arguments (list/dict/set literals or calls)"
+    rationale = (
+        "A mutable default is created once at definition time and "
+        "shared by every call; state leaking between rank programs or "
+        "between test cases is exactly the kind of aliasing bug the "
+        "deterministic test battery cannot localise.  Use None and "
+        "construct inside the body (or a dataclass field factory)."
+    )
+
+    _MUTABLE_CALLS = {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "deque",
+        "collections.defaultdict",
+        "collections.OrderedDict",
+        "collections.Counter",
+        "collections.deque",
+    }
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for d in defaults:
+                bad = isinstance(
+                    d,
+                    (
+                        ast.List,
+                        ast.Dict,
+                        ast.Set,
+                        ast.ListComp,
+                        ast.DictComp,
+                        ast.SetComp,
+                    ),
+                ) or (
+                    isinstance(d, ast.Call)
+                    and _dotted(d.func) in self._MUTABLE_CALLS
+                )
+                if bad:
+                    fn = getattr(node, "name", "<lambda>")
+                    yield ctx.finding(
+                        d,
+                        self.code,
+                        f"mutable default argument in {fn}(); default "
+                        "to None and construct inside the body",
+                    )
+
+
+@register
+class UnorderedSendLoop(Rule):
+    code = "RPR005"
+    name = "unordered-iteration-feeds-send"
+    summary = (
+        "loops over dict views / sets that issue sends must iterate in "
+        "sorted order"
+    )
+    rationale = (
+        "Message injection order is part of the machine's observable "
+        "state: it fixes arrival order, which fixes wildcard-receive "
+        "matching on the peer.  A dict built from message arrivals has "
+        "arrival-dependent insertion order, and set order depends on "
+        "hashes, so iterating either while sending re-broadcasts "
+        "upstream nondeterminism to every receiver.  Wrap the "
+        "iterable in sorted(...) (cf. dcf.send_batches)."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not ctx.in_tests
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            kind = _unordered_iter_kind(node.iter)
+            if kind is None:
+                continue
+            sends = [
+                n
+                for stmt in node.body
+                for n in ast.walk(stmt)
+                if _is_send_call(n)
+            ]
+            if sends:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"loop over unordered {kind} issues sends; iterate "
+                    "sorted(...) so injection order is deterministic",
+                )
+
+
+@register
+class SwallowedFailure(Rule):
+    code = "RPR006"
+    name = "swallowed-failure-exception"
+    summary = (
+        "no bare/overbroad except that can swallow RankFailure or "
+        "DeadlockError"
+    )
+    rationale = (
+        "RankFailure and DeadlockError are the scheduler's only way to "
+        "report that a simulated run is wedged; both inherit from "
+        "standard exception bases.  A bare except (anywhere) or an "
+        "except Exception/BaseException without re-raise around "
+        "yielding code turns a diagnosed protocol failure into "
+        "silently-wrong results."
+    )
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            body_yields = any(
+                _contains(stmt, (ast.Yield, ast.YieldFrom))
+                for stmt in node.body
+            )
+            for handler in node.handlers:
+                if handler.type is None:
+                    yield ctx.finding(
+                        handler,
+                        self.code,
+                        "bare except: swallows RankFailure/DeadlockError "
+                        "(and KeyboardInterrupt); name the exceptions "
+                        "you expect",
+                    )
+                    continue
+                names = set()
+                htypes = (
+                    handler.type.elts
+                    if isinstance(handler.type, ast.Tuple)
+                    else [handler.type]
+                )
+                for t in htypes:
+                    n = _dotted(t)
+                    if n:
+                        names.add(n.rpartition(".")[2])
+                if not (names & self._BROAD):
+                    continue
+                reraises = any(
+                    _contains(stmt, (ast.Raise,)) for stmt in handler.body
+                )
+                if body_yields and not reraises:
+                    yield ctx.finding(
+                        handler,
+                        self.code,
+                        "except "
+                        + "/".join(sorted(names & self._BROAD))
+                        + " around yielding (communicating) code "
+                        "without re-raise can swallow RankFailure/"
+                        "DeadlockError; catch specific exceptions or "
+                        "re-raise",
+                    )
+
+
+@register
+class HashOrderIteration(Rule):
+    code = "RPR007"
+    name = "hash-order-iteration-in-deterministic-path"
+    summary = (
+        "no for-loops over set(...) / set algebra in deterministic "
+        "packages without sorted(...)"
+    )
+    rationale = (
+        "Set iteration order follows hash values, which for strings "
+        "vary with PYTHONHASHSEED and for mixed types with memory "
+        "layout.  In machine/solver/connectivity/resilience/core this "
+        "leaks straight into accumulation order, cache insertion order "
+        "and trace output.  Dict views are insertion-ordered and "
+        "therefore exempt here (RPR005 still covers them when the loop "
+        "sends messages)."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_deterministic_path and not ctx.in_tests
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            kind = _unordered_iter_kind(node.iter)
+            if kind is None or kind.startswith("."):
+                continue  # dict views handled by RPR005 only
+            yield ctx.finding(
+                node,
+                self.code,
+                f"for-loop over unordered {kind} in a deterministic "
+                "path; wrap the iterable in sorted(...)",
+            )

@@ -1,0 +1,457 @@
+"""SimMPI sanitizer: runtime message-race / tag / collective checking.
+
+An opt-in shadow layer for the simulated machine, in the spirit of
+MUST-style dynamic MPI correctness tools: the scheduler and the
+communicator notify a :class:`Sanitizer` of every send, receive,
+wildcard match and collective entry, and the sanitizer reports
+structured findings without perturbing the simulation in any way — no
+virtual time is charged, no scheduling decision changes, so a sanitized
+run's traces are bit-identical to an unsanitized run (asserted by
+``tests/analysis/test_sanitizer.py``).
+
+Checks (finding ``kind`` strings):
+
+``message-race``
+    A wildcard (``ANY_SOURCE``) receive/tryrecv was posted while the
+    rank's mailbox held matchable messages from **two or more distinct
+    sources**.  The simulator resolves the race deterministically
+    (arrival order), but on a real asynchronous machine the match would
+    depend on timing — this is a *nondeterminism witness*, reported
+    with full provenance (sources, sequence numbers, tag name).
+    ``Comm.drain_recv`` consumes its mailbox in canonical (src, seq)
+    order and is therefore race-free by construction.
+``tag-collision``
+    The same user tag was sent from two different accounting phases —
+    two subsystems sharing one channel.  With wildcard receives in
+    play, a stray message from subsystem A can satisfy subsystem B's
+    receive.
+``reserved-tag``
+    A point-to-point send used a tag in the reserved range
+    (``MAX_USER_TAG <= tag < collective base``) whose group offset was
+    never registered by a live :class:`~repro.machine.simmpi.SubComm`.
+``collective-mismatch``
+    Ranks of one communicator executed different collective sequences
+    (different op, root, or count) — the classic source of collective
+    deadlock on a real machine.
+``finalize-leak``
+    A rank finished its program with unconsumed messages in its
+    mailbox: somebody sent a message nobody ever received.
+
+Findings accumulate across scheduler runs (the driver restarts the
+scheduler per epoch); per-run state (collective sequences, mailboxes)
+is reset by :meth:`Sanitizer.begin_run`.  Runs that end in injected
+rank failure skip the finalize/collective checks — interrupted
+protocols legitimately leave both inconsistent.
+
+Every finding is mirrored to the :mod:`repro.obs` tracer (when one is
+attached) as a ``sanitizer:<kind>`` mark, so findings land on the same
+virtual-time axis as the span events that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.machine.event import ANY_SOURCE, ANY_TAG
+from repro.machine.simmpi import MAX_USER_TAG, _COLL_TAG_BASE, describe_tag
+
+__all__ = ["Sanitizer", "SanitizerFinding", "SanitizerReport", "FINDING_KINDS"]
+
+FINDING_KINDS = (
+    "message-race",
+    "tag-collision",
+    "reserved-tag",
+    "collective-mismatch",
+    "finalize-leak",
+)
+
+#: World-communicator id used in collective sequence tracking.
+_WORLD = "world"
+
+
+@dataclass(frozen=True)
+class SanitizerFinding:
+    """One structured sanitizer finding."""
+
+    kind: str
+    time: float
+    rank: int
+    tag: int | None
+    message: str
+    detail: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        tag_txt = "" if self.tag is None else f" tag={describe_tag(self.tag)}"
+        return (
+            f"[{self.kind}] t={self.time:.6g} rank={self.rank}{tag_txt}: "
+            f"{self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "rank": self.rank,
+            "tag": self.tag,
+            "message": self.message,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SanitizerReport:
+    """Summary of one sanitized execution (possibly many epochs)."""
+
+    findings: list[SanitizerFinding]
+    runs: int
+    messages_sent: int
+    messages_received: int
+    wildcard_recvs: int
+    collectives: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        out = {k: 0 for k in FINDING_KINDS}
+        for f in self.findings:
+            out[f.kind] = out.get(f.kind, 0) + 1
+        return {k: v for k, v in out.items() if v}
+
+    def format(self) -> str:
+        lines = ["sanitizer: " + ("CLEAN" if self.ok else "FINDINGS")]
+        lines.append(
+            f"  {self.runs} scheduler run(s), "
+            f"{self.messages_sent} sends, "
+            f"{self.messages_received} receives, "
+            f"{self.wildcard_recvs} wildcard receives, "
+            f"{self.collectives} collective entries"
+        )
+        for kind, n in sorted(self.counts().items()):
+            lines.append(f"  {kind}: {n}")
+        for f in self.findings:
+            lines.append("  " + f.format())
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "counts": self.counts(),
+                "runs": self.runs,
+                "messages_sent": self.messages_sent,
+                "messages_received": self.messages_received,
+                "wildcard_recvs": self.wildcard_recvs,
+                "collectives": self.collectives,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+class Sanitizer:
+    """Shadow-layer recorder; attach via ``Simulator(sanitizer=...)``.
+
+    Purely observational: every hook only reads simulator state and
+    appends to internal records, so enabling the sanitizer cannot
+    change virtual timings (tested bit-exactly).
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`repro.obs.Tracer`; findings are mirrored as
+        ``sanitizer:<kind>`` marks.
+    max_findings_per_kind:
+        Cap per finding kind so a systematically-racy program cannot
+        blow up memory; the cap itself is reported in the summary.
+    """
+
+    def __init__(self, tracer=None, max_findings_per_kind: int = 1000):
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+        self.max_findings_per_kind = max_findings_per_kind
+        self.findings: list[SanitizerFinding] = []
+        self.runs = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.wildcard_recvs = 0
+        self.collectives = 0
+        # Cross-run state: tags are global constants, so provenance and
+        # dedup persist across epochs.
+        self._tag_phases: dict[int, set[str]] = {}
+        self._collisions_reported: set[int] = set()
+        self._reserved_reported: set[int] = set()
+        self._group_offsets: dict[int, tuple[int, ...]] = {}
+        # Per-run state (reset by begin_run).
+        self._coll_seq: dict[Any, dict[int, list[tuple[str, int]]]] = {}
+        self._race_seen: set[tuple] = set()
+        self._nranks = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle (called by the scheduler)
+
+    def begin_run(self, nranks: int) -> None:
+        """Reset per-run state at the start of one scheduler run."""
+        self.runs += 1
+        self._nranks = nranks
+        self._coll_seq = {}
+        self._race_seen = set()
+
+    def end_run(self, states: Iterable, failed: bool) -> None:
+        """Finalize checks at the end of one scheduler run.
+
+        ``states`` are scheduler rank-state objects (``rank``,
+        ``mailbox``, ``failed`` attributes).  ``failed`` runs skip the
+        finalize-leak and collective-mismatch checks: an interrupted
+        protocol legitimately leaves both inconsistent.
+        """
+        if failed:
+            return
+        self._check_collectives()
+        for s in states:
+            if s.failed:
+                continue
+            for msg in s.mailbox.pending():
+                self._emit(
+                    "finalize-leak",
+                    msg.arrival_time,
+                    s.rank,
+                    msg.tag,
+                    f"message from rank {msg.src} "
+                    f"({describe_tag(msg.tag)}, {msg.nbytes} B) was "
+                    "never received",
+                    src=msg.src,
+                    nbytes=msg.nbytes,
+                    seq=msg.seq,
+                )
+
+    # ------------------------------------------------------------------
+    # event hooks (called by the scheduler hot path)
+
+    def on_send(
+        self,
+        time: float,
+        src: int,
+        dst: int,
+        tag: int,
+        nbytes: int,
+        phase: str,
+        dropped: bool,
+    ) -> None:
+        self.messages_sent += 1
+        if tag >= _COLL_TAG_BASE:
+            return
+        if tag >= MAX_USER_TAG:
+            # Group-translated user tag: its offset must belong to a
+            # registered SubComm, otherwise application code forged a
+            # tag inside the reserved range.
+            offset = (tag // MAX_USER_TAG) * MAX_USER_TAG
+            if (
+                offset not in self._group_offsets
+                and offset not in self._reserved_reported
+            ):
+                self._reserved_reported.add(offset)
+                self._emit(
+                    "reserved-tag",
+                    time,
+                    src,
+                    tag,
+                    f"send to rank {dst} used reserved tag "
+                    f"{tag} with unregistered group offset {offset}",
+                    dst=dst,
+                    offset=offset,
+                )
+            return
+        phases = self._tag_phases.setdefault(tag, set())
+        phases.add(phase)
+        if len(phases) > 1 and tag not in self._collisions_reported:
+            self._collisions_reported.add(tag)
+            self._emit(
+                "tag-collision",
+                time,
+                src,
+                tag,
+                f"user tag {tag} is sent from multiple subsystems "
+                f"(phases {sorted(phases)}); a wildcard receive in one "
+                "can match the other's messages",
+                phases=sorted(phases),
+                dst=dst,
+            )
+
+    def on_recv(self, time: float, rank: int, msg) -> None:
+        self.messages_received += 1
+
+    def on_wildcard_recv(
+        self,
+        time: float,
+        rank: int,
+        tag: int,
+        mailbox,
+        blocking: bool,
+    ) -> None:
+        """An ``ANY_SOURCE`` receive is about to match against ``mailbox``.
+
+        If two or more matchable messages from distinct sources are
+        pending (arrived *or* in flight — on a real machine either
+        could win), the match outcome is timing-dependent: record a
+        nondeterminism witness.  Reserved/collective tags are exempt:
+        the built-in collectives match by construction on order-
+        insensitive state.
+        """
+        self.wildcard_recvs += 1
+        if tag >= _COLL_TAG_BASE:
+            return
+        msgs = [m for m in mailbox.pending() if m.matches(ANY_SOURCE, tag)]
+        sources = sorted({m.src for m in msgs})
+        if len(sources) < 2:
+            return
+        key = (rank, tag, tuple(sorted(m.seq for m in msgs)))
+        if key in self._race_seen:
+            return
+        self._race_seen.add(key)
+        self._emit(
+            "message-race",
+            time,
+            rank,
+            tag,
+            f"wildcard {'recv' if blocking else 'tryrecv'} with "
+            f"{len(msgs)} matchable messages from sources {sources}; "
+            "match order is timing-dependent on a real machine "
+            "(use drain_recv for canonical (src, seq) consumption)",
+            sources=sources,
+            seqs=sorted(m.seq for m in msgs),
+            blocking=blocking,
+            tag_name=describe_tag(tag),
+        )
+
+    def on_drain(
+        self, time: float, rank: int, src: int, tag: int, msgs: list
+    ) -> None:
+        """A canonical-order drain consumed ``msgs`` — race-free by
+        construction; only counted."""
+        self.messages_received += len(msgs)
+
+    # ------------------------------------------------------------------
+    # comm-level hooks (called by simmpi)
+
+    def register_group(
+        self, members: tuple[int, ...], tag_offset: int, rank: int
+    ) -> None:
+        """A :class:`SubComm` with ``members`` claimed ``tag_offset``."""
+        self._group_offsets[tag_offset] = tuple(members)
+
+    def on_collective(
+        self,
+        rank: int,
+        comm_id: Any,
+        name: str,
+        root: int | None,
+    ) -> None:
+        """Rank ``rank`` (global numbering) entered collective ``name``
+        on communicator ``comm_id`` (``"world"`` or group tuple)."""
+        self.collectives += 1
+        seqs = self._coll_seq.setdefault(comm_id, {})
+        seqs.setdefault(rank, []).append(
+            (name, -1 if root is None else int(root))
+        )
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> SanitizerReport:
+        return SanitizerReport(
+            findings=list(self.findings),
+            runs=self.runs,
+            messages_sent=self.messages_sent,
+            messages_received=self.messages_received,
+            wildcard_recvs=self.wildcard_recvs,
+            collectives=self.collectives,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _emit(
+        self,
+        kind: str,
+        time: float,
+        rank: int,
+        tag: int | None,
+        message: str,
+        **detail: Any,
+    ) -> None:
+        if (
+            sum(1 for f in self.findings if f.kind == kind)
+            >= self.max_findings_per_kind
+        ):
+            return
+        f = SanitizerFinding(
+            kind=kind,
+            time=time,
+            rank=rank,
+            tag=tag,
+            message=message,
+            detail=detail,
+        )
+        self.findings.append(f)
+        if self.tracer is not None:
+            self.tracer.mark(time, f"sanitizer:{kind}", rank=rank, **detail)
+
+    def _check_collectives(self) -> None:
+        """Compare per-rank collective sequences per communicator."""
+        for comm_id in sorted(self._coll_seq, key=repr):
+            seqs = self._coll_seq[comm_id]
+            if comm_id == _WORLD:
+                expected = range(self._nranks)
+            else:
+                expected = comm_id[1:]  # ("group", m0, m1, ...)
+            participants = sorted(seqs)
+            missing = [r for r in expected if r not in seqs]
+            if missing and participants:
+                ref = participants[0]
+                self._emit(
+                    "collective-mismatch",
+                    0.0,
+                    missing[0],
+                    None,
+                    f"rank(s) {missing} of communicator {comm_id!r} "
+                    f"executed no collectives while rank {ref} executed "
+                    f"{len(seqs[ref])}",
+                    comm=repr(comm_id),
+                    missing=missing,
+                )
+            if len(participants) < 2:
+                continue
+            ref = participants[0]
+            ref_seq = seqs[ref]
+            for r in participants[1:]:
+                got = seqs[r]
+                if got == ref_seq:
+                    continue
+                div = next(
+                    (
+                        i
+                        for i, (a, b) in enumerate(zip(ref_seq, got))
+                        if a != b
+                    ),
+                    min(len(ref_seq), len(got)),
+                )
+                a = ref_seq[div] if div < len(ref_seq) else None
+                b = got[div] if div < len(got) else None
+                self._emit(
+                    "collective-mismatch",
+                    0.0,
+                    r,
+                    None,
+                    f"collective sequence diverges from rank {ref} at "
+                    f"entry {div} on communicator {comm_id!r}: "
+                    f"rank {ref} executed {a}, rank {r} executed {b} "
+                    f"(lengths {len(ref_seq)} vs {len(got)})",
+                    comm=repr(comm_id),
+                    index=div,
+                    ref_rank=ref,
+                    ref_op=list(a) if a else None,
+                    got_op=list(b) if b else None,
+                )

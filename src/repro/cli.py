@@ -10,12 +10,19 @@ Usage (installed as ``python -m repro``):
     python -m repro sweep store --machine sp2 --nodes 16,28,52 --scale 0.1
     python -m repro trace airfoil --nodes 8 --scale 0.1 --steps 4
     python -m repro physics --scale 0.05 --steps 20
+    python -m repro lint src tests
+    python -m repro run x38 --sanitize
 
 ``run`` executes one OVERFLOW-D1 simulation and prints the paper's
 per-run statistics; with ``--fault`` / ``--checkpoint-every`` /
 ``--checkpoint-dir`` it exercises the resilience machinery
 (:mod:`repro.resilience`): injected fail-stop faults, periodic
-checkpoints and elastic recovery.  ``resume`` continues a run from a
+checkpoints and elastic recovery.  With ``--sanitize`` the run is
+shadowed by the SimMPI sanitizer (:mod:`repro.analysis`), which
+reports wildcard message races, tag collisions, collective mismatches
+and finalize leaks without changing virtual time; ``lint`` runs the
+project's determinism lint (rules ``RPR001``-``RPR007``) over source
+trees.  Both exit non-zero when findings remain.  ``resume`` continues a run from a
 checkpoint file (or the newest checkpoint in a directory).  ``sweep``
 produces a Table-1-style speedup table over several node counts;
 ``trace`` runs one simulation with per-rank span tracing enabled and
@@ -85,6 +92,25 @@ def _resilience_kwargs(args) -> dict:
     return kwargs
 
 
+def _make_sanitizer(args, tracer=None):
+    """Build a Sanitizer when ``--sanitize`` was given, else None."""
+    if not getattr(args, "sanitize", False):
+        return None
+    from repro.analysis import Sanitizer
+
+    return Sanitizer(tracer=tracer)
+
+
+def _finish_sanitizer(san) -> int:
+    """Print the sanitizer report; return the process exit code."""
+    if san is None:
+        return 0
+    report = san.report()
+    print()
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def _print_run(r) -> None:
     print(f"time/step        {r.time_per_step:.4f} simulated s")
     print(f"Mflops/node      {r.mflops_per_node:.1f}")
@@ -109,9 +135,10 @@ def cmd_run(args) -> int:
         f"grids, {machine.name} x {machine.nodes} nodes, "
         f"f0={'inf' if math.isinf(args.f0) else args.f0}"
     )
-    r = OverflowD1(cfg, **_resilience_kwargs(args)).run()
+    san = _make_sanitizer(args)
+    r = OverflowD1(cfg, sanitizer=san, **_resilience_kwargs(args)).run()
     _print_run(r)
-    return 0
+    return _finish_sanitizer(san)
 
 
 def cmd_resume(args) -> int:
@@ -132,9 +159,10 @@ def cmd_resume(args) -> int:
         f"measured step {meta.get('measured_step')} "
         f"({ckpt.nbytes} bytes, {meta.get('nprocs')} ranks)"
     )
-    r = resume_run(ckpt, **_resilience_kwargs(args))
+    san = _make_sanitizer(args)
+    r = resume_run(ckpt, sanitizer=san, **_resilience_kwargs(args))
     _print_run(r)
-    return 0
+    return _finish_sanitizer(san)
 
 
 def cmd_sweep(args) -> int:
@@ -169,7 +197,10 @@ def cmd_trace(args) -> int:
         f"grids, {machine.name} x {machine.nodes} nodes, tracing enabled"
     )
     tracer = SpanTracer()
-    run = OverflowD1(cfg, tracer=tracer, **_resilience_kwargs(args)).run()
+    san = _make_sanitizer(args, tracer=tracer)
+    run = OverflowD1(
+        cfg, tracer=tracer, sanitizer=san, **_resilience_kwargs(args)
+    ).run()
 
     rollup = run.rollup()
     igbp = run.igbp_rollup()
@@ -194,7 +225,7 @@ def cmd_trace(args) -> int:
         print(ascii_timeline(tracer, width=args.width))
     print(f"\nwrote {trace_path}  (load in chrome://tracing or Perfetto)")
     print(f"wrote {csv_path}")
-    return 0
+    return _finish_sanitizer(san)
 
 
 def cmd_physics(args) -> int:
@@ -228,6 +259,23 @@ def cmd_physics(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import lint_paths, rule_catalog
+
+    if args.rules:
+        for rule in rule_catalog():
+            print(f"{rule['code']}  {rule['name']}: {rule['summary']}")
+        return 0
+    paths = args.paths or ["src"]
+    select = args.select.split(",") if args.select else None
+    try:
+        report = lint_paths(paths, select=select)
+    except (ValueError, FileNotFoundError) as exc:
+        raise SystemExit(str(exc))
+    print(report.to_json() if args.json else report.format())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -246,6 +294,14 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--scale", type=float, default=0.1)
         sp.add_argument("--steps", type=int, default=5)
         sp.add_argument("--f0", type=float, default=math.inf)
+
+    def sanitize(sp):
+        sp.add_argument(
+            "--sanitize", action="store_true",
+            help="shadow the run with the SimMPI sanitizer "
+            "(message-race / tag / collective / finalize checks; "
+            "exits 1 on findings)",
+        )
 
     def resilience(sp):
         sp.add_argument(
@@ -266,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(run)
     run.add_argument("--nodes", type=int, default=12)
     resilience(run)
+    sanitize(run)
     run.set_defaults(fn=cmd_run)
 
     resume = sub.add_parser(
@@ -275,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoint", help="path to a .rpk checkpoint or a checkpoint dir"
     )
     resilience(resume)
+    sanitize(resume)
     resume.set_defaults(fn=cmd_resume)
 
     sweep = sub.add_parser("sweep", help="speedup table over node counts")
@@ -292,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(trace)
     trace.add_argument("--nodes", type=int, default=8)
     resilience(trace)
+    sanitize(trace)
     trace.add_argument("--out", default=str(DEFAULT_TRACE_DIR),
                        help="output directory for trace/rollup files")
     trace.add_argument("--width", type=int, default=72,
@@ -299,6 +358,27 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--no-timeline", action="store_true",
                        help="skip the ASCII timeline")
     trace.set_defaults(fn=cmd_trace)
+
+    lint = sub.add_parser(
+        "lint",
+        help="project determinism lint (RPR rules) over source trees",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (e.g. RPR001,RPR005)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the JSON report"
+    )
+    lint.add_argument(
+        "--rules", action="store_true",
+        help="list the rule catalog and exit",
+    )
+    lint.set_defaults(fn=cmd_lint)
 
     phys = sub.add_parser("physics", help="real coupled 2-D solve")
     phys.add_argument("--scale", type=float, default=0.05)

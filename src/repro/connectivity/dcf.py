@@ -292,6 +292,17 @@ def dcf_rank_program(
         stats.orphans += n
 
     # ------------------------------------------------------------ step 3
+    #
+    # The service loop drains each wildcard channel with
+    # ``Comm.drain_recv``, which consumes every arrived message in
+    # canonical (source, sequence) order.  The earlier implementation
+    # popped one ``ANY_SOURCE`` message per poll in *arrival* order —
+    # on a real asynchronous machine that order is timing-dependent,
+    # which is exactly the wildcard message race the SimMPI sanitizer
+    # (repro.analysis.sanitizer) reports as a nondeterminism witness.
+    # With canonical drains the processing order depends only on who
+    # sent what, not on when it arrived, and the sanitizer certifies
+    # the protocol race-free (tests/analysis/test_sanitizer.py).
     done_sent = False
     done_count = 0
     finished = False
@@ -299,17 +310,16 @@ def dcf_rank_program(
     while not finished:
         progress = False
 
-        # Serve one incoming search request.
-        msg = yield ("tryrecv", ANY_SOURCE, TAG_SEARCH)
-        if msg is not None:
+        # Serve incoming search requests, in stable (src, seq) order.
+        for payload, _status in (
+            yield from comm.drain_recv(ANY_SOURCE, TAG_SEARCH)
+        ):
             progress = True
-            yield from _serve_search(comm, world, rank, msg.payload, stats)
+            yield from _serve_search(comm, world, rank, payload, stats)
 
-        # Absorb one reply.
-        msg = yield ("tryrecv", ANY_SOURCE, TAG_REPLY)
-        if msg is not None:
+        # Absorb replies, in stable (src, seq) order.
+        for p, _status in (yield from comm.drain_recv(ANY_SOURCE, TAG_REPLY)):
             progress = True
-            p = msg.payload
             rows = p["rows"]
             found = p["found"]
             outstanding -= int(rows.size)
@@ -335,16 +345,19 @@ def dcf_rank_program(
             yield from comm.send(0, TAG_DONE, None, nbytes=8)
 
         if rank == 0:
-            msg = yield ("tryrecv", ANY_SOURCE, TAG_DONE)
-            if msg is not None:
+            for _p, _status in (
+                yield from comm.drain_recv(ANY_SOURCE, TAG_DONE)
+            ):
                 progress = True
                 done_count += 1
-                if done_count == comm.size:
-                    for dst in range(1, comm.size):
-                        yield from comm.send(dst, TAG_FINISH, None, nbytes=8)
-                    finished = True
+            if done_count == comm.size:
+                for dst in range(1, comm.size):
+                    yield from comm.send(dst, TAG_FINISH, None, nbytes=8)
+                finished = True
         else:
-            msg = yield ("tryrecv", ANY_SOURCE, TAG_FINISH)
+            # FINISH only ever comes from rank 0: receive from the
+            # specific source so there is no wildcard at all.
+            msg = yield from comm._tryrecv(0, TAG_FINISH)
             if msg is not None:
                 finished = True
 
@@ -355,7 +368,7 @@ def dcf_rank_program(
             idle_wait = min(idle_wait * 2.0, 1.0e-3)
 
     if restart is not None:
-        for dg in set(search_list):
+        for dg in sorted(set(search_list)):
             sel = result["donor_grid"] == dg
             if sel.any():
                 restart.store(

@@ -433,11 +433,16 @@ class OverflowD1:
         checkpoint_every: int | None = None,
         checkpoint_store=None,
         recovery_policy: RecoveryPolicy | None = None,
+        sanitizer=None,
     ):
         self.config = config
         self.tracer = (
             tracer if tracer is not None and tracer.enabled else None
         )
+        #: Optional :class:`repro.analysis.sanitizer.Sanitizer`.  Purely
+        #: observational — threading it through every chunk (including
+        #: warm-up and recovery re-runs) never perturbs virtual time.
+        self.sanitizer = sanitizer
         if isinstance(fault_plan, str):
             fault_plan = FaultPlan.parse(fault_plan)
         elif isinstance(fault_plan, (list, tuple)):
@@ -691,6 +696,7 @@ class OverflowD1:
             failure.failed_ranks,
             tracer=tracer,
             timeout=policy.detection_timeout,
+            sanitizer=self.sanitizer,
         )
         if tracer is not None:
             tracer.advance(t_detect)
@@ -929,6 +935,7 @@ class OverflowD1:
             fault_plan=fault_plan,
             initial_clocks=clocks,
             initial_metrics=metrics,
+            sanitizer=self.sanitizer,
         )
         sim.spawn_all(program)
         return sim.run()
@@ -941,6 +948,7 @@ def resume_run(
     checkpoint_every: int | None = None,
     checkpoint_store=None,
     recovery_policy: RecoveryPolicy | None = None,
+    sanitizer=None,
 ) -> RunResult:
     """Resume an OVERFLOW-D1 run from a checkpoint file/object.
 
@@ -957,5 +965,6 @@ def resume_run(
         checkpoint_every=checkpoint_every,
         checkpoint_store=checkpoint_store,
         recovery_policy=recovery_policy,
+        sanitizer=sanitizer,
     )
     return driver.resume(checkpoint)

@@ -158,7 +158,7 @@ class OversetDriver:
             assign = self.assignments[gi]
             values = np.zeros((s.count, self.nvar))
             filled = np.zeros(s.count, dtype=bool)
-            for donor in set(assign["donor_grid"].tolist()) - {-1}:
+            for donor in sorted(set(assign["donor_grid"].tolist()) - {-1}):
                 rows = np.nonzero(assign["donor_grid"] == donor)[0]
                 values[rows] = interpolate(
                     self.solvers[donor].q,

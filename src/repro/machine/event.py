@@ -20,6 +20,20 @@ ANY_TAG = -1
 _seq = itertools.count()
 
 
+def reset_sequence() -> None:
+    """Restart the global message sequence counter.
+
+    The scheduler calls this at the start of every run so ``seq``
+    values — tiebreakers in mailbox ordering and provenance in
+    sanitizer race witnesses — are a deterministic function of the run,
+    not of how many messages earlier runs in the same interpreter
+    created.  Within a run the counter is still strictly increasing in
+    injection order, so resetting cannot change any matching decision.
+    """
+    global _seq
+    _seq = itertools.count()
+
+
 @dataclass
 class Message:
     """One in-flight or delivered point-to-point message."""
@@ -80,6 +94,27 @@ class Mailbox:
         if msg is not None:
             self._messages.remove(msg)
         return msg
+
+    def pop_all_matching(
+        self, src: int, tag: int, now: float
+    ) -> list[Message]:
+        """Remove and return *every* matching message arrived by ``now``,
+        sorted by ``(src, seq)``.
+
+        This is the canonical-order drain primitive: whatever order the
+        messages arrived in (the timing-dependent part on a real
+        machine), the caller consumes them in a stable order, so a
+        wildcard drain cannot act as a message-race amplifier.
+        """
+        got = [
+            m
+            for m in self._messages
+            if m.matches(src, tag) and m.arrival_time <= now
+        ]
+        for m in got:
+            self._messages.remove(m)
+        got.sort(key=lambda m: (m.src, m.seq))
+        return got
 
     def earliest_arrival(self) -> float | None:
         """Arrival time of the earliest message, or None if empty."""

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
+from repro.machine import event
 from repro.machine.event import ANY_SOURCE, ANY_TAG, Mailbox, Message
 from repro.machine.faults import FaultPlan, RankFailure
 from repro.machine.metrics import MachineMetrics, RankMetrics
@@ -137,6 +138,7 @@ class Simulator:
         fault_plan: FaultPlan | None = None,
         initial_clocks: list[float] | None = None,
         initial_metrics: list[RankMetrics] | None = None,
+        sanitizer=None,
     ):
         self.machine = machine
         self.trace = trace
@@ -146,6 +148,11 @@ class Simulator:
         self._tracer = (
             tracer if tracer is not None and tracer.enabled else None
         )
+        # Runtime correctness checking (repro.analysis.sanitizer).  Like
+        # the tracer it is purely observational: hooks never charge
+        # virtual time or change matching, so sanitized runs are
+        # bit-identical to plain runs.
+        self._sanitizer = sanitizer
         self.fault_plan = fault_plan if fault_plan else None
         self.initial_clocks = (
             list(initial_clocks) if initial_clocks is not None else None
@@ -201,9 +208,18 @@ class Simulator:
                 f"initial_metrics has {len(self.initial_metrics)} entries "
                 f"for {n} ranks"
             )
+        # Message seq numbers restart at 0 every run: they are pure
+        # tiebreakers (relative order within a run is unchanged), and
+        # resetting makes mailbox provenance — including sanitizer race
+        # witnesses — deterministic regardless of interpreter history.
+        event.reset_sequence()
+        if self._sanitizer is not None:
+            self._sanitizer.begin_run(n)
         states = []
         for rank, (program, args, kwargs) in enumerate(self._programs):
             comm = Comm(rank, n, self.machine)
+            if self._sanitizer is not None:
+                comm._san = self._sanitizer
             state = _RankState(rank, program(comm, *args, **kwargs))
             if self.initial_clocks is not None:
                 state.clock = float(self.initial_clocks[rank])
@@ -252,6 +268,12 @@ class Simulator:
             )
         if blocked:
             raise DeadlockError(self._deadlock_message(states, blocked))
+
+        if self._sanitizer is not None:
+            # Finalize checks (collective cross-check, mailbox leaks)
+            # only make sense for runs that completed cleanly; a
+            # fail-stopped run legitimately leaves both inconsistent.
+            self._sanitizer.end_run(states, failed=bool(self._failed))
 
         for s in states:
             s.metrics.final_clock = s.clock
@@ -352,6 +374,13 @@ class Simulator:
         if state.blocked_on is not None:
             # Wakeable blocked receive: complete it now.
             src, tag = state.blocked_on
+            if self._sanitizer is not None and src == ANY_SOURCE:
+                # Messages may have accumulated while the rank slept;
+                # re-check the wildcard race at wake time (findings are
+                # deduplicated by message sequence set).
+                self._sanitizer.on_wildcard_recv(
+                    state.clock, state.rank, tag, state.mailbox, blocking=True
+                )
             msg = state.mailbox.pop_matching(src, tag, state.clock, allow_future=True)
             assert msg is not None, "scheduler picked a non-wakeable blocked rank"
             self._complete_recv(state, msg)
@@ -386,6 +415,10 @@ class Simulator:
             self._inject(state, dst, tag, payload, nbytes)
         elif kind == "recv":
             _, src, tag = op
+            if self._sanitizer is not None and src == ANY_SOURCE:
+                self._sanitizer.on_wildcard_recv(
+                    state.clock, state.rank, tag, state.mailbox, blocking=True
+                )
             msg = state.mailbox.pop_matching(src, tag, state.clock, allow_future=True)
             if msg is not None:
                 self._complete_recv(state, msg)
@@ -394,10 +427,28 @@ class Simulator:
         elif kind == "tryrecv":
             _, src, tag = op
             self._charge_poll(state)
+            if self._sanitizer is not None and src == ANY_SOURCE:
+                self._sanitizer.on_wildcard_recv(
+                    state.clock, state.rank, tag, state.mailbox,
+                    blocking=False,
+                )
             msg = state.mailbox.pop_matching(src, tag, state.clock, allow_future=False)
             if msg is not None:
                 state.metrics.messages_received += 1
+                if self._sanitizer is not None:
+                    self._sanitizer.on_recv(state.clock, state.rank, msg)
             state.send_value = msg
+        elif kind == "drain":
+            _, src, tag = op
+            self._charge_poll(state)
+            msgs = state.mailbox.pop_all_matching(src, tag, state.clock)
+            if msgs:
+                state.metrics.messages_received += len(msgs)
+            if self._sanitizer is not None:
+                self._sanitizer.on_drain(
+                    state.clock, state.rank, src, tag, msgs
+                )
+            state.send_value = msgs
         elif kind == "iprobe":
             _, src, tag = op
             self._charge_poll(state)
@@ -439,6 +490,11 @@ class Simulator:
                 nbytes=nbytes,
             )
         target = self._states[dst]
+        if self._sanitizer is not None:
+            self._sanitizer.on_send(
+                t0, state.rank, dst, tag, nbytes, state.phase,
+                dropped=target.failed,
+            )
         if target.failed:
             # Fail-stop semantics: the network can tell nobody is
             # listening; the message is black-holed (sender still paid
@@ -472,6 +528,8 @@ class Simulator:
         state.clock = max(state.clock, msg.arrival_time)
         state.metrics.add_time(state.phase, "wait", wait)
         state.metrics.messages_received += 1
+        if self._sanitizer is not None:
+            self._sanitizer.on_recv(state.clock, state.rank, msg)
         state.send_value = msg
         if self._tracer is not None:
             self._tracer.op(

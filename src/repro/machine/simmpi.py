@@ -125,10 +125,25 @@ class Request:
 class Comm:
     """Communicator bound to one rank of the simulated machine."""
 
+    #: Optional :class:`repro.analysis.sanitizer.Sanitizer` shadow
+    #: layer, attached by the scheduler when sanitizing.  Purely
+    #: observational — notifications never charge virtual time.
+    _san = None
+
     def __init__(self, rank: int, size: int, machine):
         self.rank = rank
         self.size = size
         self.machine = machine
+
+    # ------------------------------------------------------------------
+    # sanitizer shadow layer
+    # ------------------------------------------------------------------
+
+    def _san_collective(self, name: str, root: int | None = None) -> None:
+        """Notify the sanitizer (if any) of a collective entry; global
+        rank numbering, world communicator."""
+        if self._san is not None:
+            self._san.on_collective(self.rank, "world", name, root)
 
     # ------------------------------------------------------------------
     # time and work
@@ -265,12 +280,33 @@ class Comm:
         got = yield ("tryrecv", src, tag)
         return got
 
+    def drain_recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Drain *every* arrived matching message in one poll.
+
+        Returns ``[(payload, Status), ...]`` sorted by ``(source, seq)``
+        — a canonical order independent of arrival interleaving, which
+        makes wildcard service loops deterministic where repeated
+        single-message ``ANY_SOURCE`` tryrecvs would consume messages
+        in timing-dependent arrival order (the message-race pattern the
+        sanitizer flags).  Charges one polling overhead regardless of
+        how many messages are drained.
+        """
+        self._check_user_tag(tag, allow_any=True)
+        msgs = yield from self._drain(src, tag)
+        return [(m.payload, Status(m.src, m.tag, m.nbytes)) for m in msgs]
+
+    def _drain(self, src: int, tag: int) -> Generator:
+        """Unchecked drain primitive (overridden by :class:`SubComm`)."""
+        msgs = yield ("drain", src, tag)
+        return msgs
+
     # ------------------------------------------------------------------
     # collectives
     # ------------------------------------------------------------------
 
     def barrier(self) -> Generator:
         """Dissemination barrier: ceil(log2 P) rounds."""
+        self._san_collective("barrier")
         p = self.size
         if p == 1:
             return None
@@ -288,6 +324,7 @@ class Comm:
         step up its lowest-set-bit edge, then forwards down every lower
         bit — the classic O(log P)-round binomial tree.
         """
+        self._san_collective("bcast", root)
         p = self.size
         if p == 1:
             return payload
@@ -316,6 +353,7 @@ class Comm:
 
     def gather(self, payload: Any, root: int = 0, nbytes: int | None = None) -> Generator:
         """Linear gather to root; root returns the list ordered by rank."""
+        self._san_collective("gather", root)
         if self.size == 1:
             return [payload]
         if self.rank == root:
@@ -330,6 +368,7 @@ class Comm:
 
     def allgather(self, payload: Any, nbytes: int | None = None) -> Generator:
         """Gather to rank 0 then broadcast (cost ~ gather + bcast)."""
+        self._san_collective("allgather")
         gathered = yield from self.gather(payload, 0, nbytes)
         n = None if nbytes is None else nbytes * self.size
         return (yield from self.bcast(gathered, 0, n))
@@ -342,6 +381,7 @@ class Comm:
         nbytes: int | None = None,
     ) -> Generator:
         """Gather-based reduce; root returns the reduction, others None."""
+        self._san_collective("reduce", root)
         gathered = yield from self.gather(value, root, nbytes)
         if self.rank != root:
             return None
@@ -356,11 +396,13 @@ class Comm:
         op: Callable[[Any, Any], Any] = lambda a, b: a + b,
         nbytes: int | None = None,
     ) -> Generator:
+        self._san_collective("allreduce")
         reduced = yield from self.reduce(value, op, 0, nbytes)
         return (yield from self.bcast(reduced, 0, nbytes))
 
     def alltoall(self, payloads: list, nbytes: int | None = None) -> Generator:
         """Personalised all-to-all; ``payloads[i]`` goes to rank i."""
+        self._san_collective("alltoall")
         if len(payloads) != self.size:
             raise ValueError("alltoall needs one payload per rank")
         out: list[Any] = [None] * self.size
@@ -422,6 +464,7 @@ class Comm:
         Must only be called when at least the calling rank is alive;
         safe to call with no failures (returns an empty tuple).
         """
+        self._san_collective("detect_failures")
         if timeout is None:
             timeout = self.heartbeat_timeout()
         # 1. Broadcast heartbeats (sends to dead ranks are black-holed
@@ -555,6 +598,25 @@ class SubComm(Comm):
         self._tag_offset = (gid + 1) * self._TAG_STRIDE
         super().__init__(members.index(parent.rank), len(members),
                          parent.machine)
+        # Sanitizer shadow layer follows the parent communicator; the
+        # group claims its tag offset so reserved-tag policing knows
+        # which offsets are legitimate.
+        self._san = parent._san
+        if self._san is not None:
+            self._san.register_group(
+                tuple(self.members), self._tag_offset, parent.rank
+            )
+
+    def _san_collective(self, name: str, root: int | None = None) -> None:
+        """Collective entry under the *group* communicator id, with
+        global rank numbering (so cross-rank comparison is stable)."""
+        if self._san is not None:
+            self._san.on_collective(
+                self.parent.rank,
+                ("group",) + tuple(self.members),
+                name,
+                root,
+            )
 
     # -- rank/tag translation -------------------------------------------
 
@@ -608,3 +670,17 @@ class SubComm(Comm):
             got.tag - self._tag_offset if got.tag != ANY_TAG else got.tag
         )
         return replace(got, src=local_src, tag=local_tag)
+
+    def _drain(self, src, tag):
+        gsrc = ANY_SOURCE if src == ANY_SOURCE else self._global(src)
+        msgs = yield ("drain", gsrc, self._tag(tag))
+        out = []
+        for got in msgs:
+            local_src = (
+                self.members.index(got.src) if got.src in self.members else -1
+            )
+            local_tag = (
+                got.tag - self._tag_offset if got.tag != ANY_TAG else got.tag
+            )
+            out.append(replace(got, src=local_src, tag=local_tag))
+        return out

@@ -97,6 +97,7 @@ def run_failure_detection(
     failed_ranks,
     tracer=None,
     timeout: float | None = None,
+    sanitizer=None,
 ) -> tuple[tuple[int, ...], float]:
     """Simulate the heartbeat protocol over ``machine``'s ranks.
 
@@ -117,7 +118,7 @@ def run_failure_detection(
         agreed = yield from comm.detect_failures(timeout=timeout)
         return agreed
 
-    sim = Simulator(machine, tracer=tracer, fault_plan=plan)
+    sim = Simulator(machine, tracer=tracer, fault_plan=plan, sanitizer=sanitizer)
     sim.spawn_all(_program)
     out = sim.run(raise_on_failure=False)
 

@@ -1,0 +1,135 @@
+"""Tests for the lint engine itself (registry, noqa, select, output)."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import iter_rules, lint_paths, register, rule_catalog
+from repro.analysis.lint import Rule, _noqa_codes, lint_file
+
+
+def write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestRegistry:
+    def test_rules_sorted_and_unique(self):
+        codes = [r.code for r in iter_rules()]
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+        assert "RPR001" in codes and "RPR007" in codes
+
+    def test_catalog_is_documented(self):
+        for entry in rule_catalog():
+            assert entry["code"].startswith("RPR")
+            assert entry["name"]
+            assert entry["summary"]
+            assert entry["rationale"]
+
+    def test_register_rejects_bad_code(self):
+        class Bad(Rule):
+            code = "XXX1"
+
+        with pytest.raises(ValueError, match="bad rule code"):
+            register(Bad)
+
+    def test_register_rejects_duplicate(self):
+        class Dup(Rule):
+            code = "RPR001"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register(Dup)
+
+
+class TestNoqa:
+    def test_no_comment(self):
+        assert _noqa_codes("x = 1") is None
+
+    def test_bare_noqa_waives_all(self):
+        assert _noqa_codes("x = 1  # noqa") == set()
+
+    def test_specific_codes(self):
+        assert _noqa_codes("x  # noqa: RPR001") == {"RPR001"}
+        assert _noqa_codes("x  # NOQA: rpr001, RPR005") == {
+            "RPR001",
+            "RPR005",
+        }
+
+    def test_suppression_counted_not_silent(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/app.py",
+            """\
+            def p(comm):
+                yield from comm.send(1, 42, None)  # noqa: RPR001
+            """,
+        )
+        findings, suppressed = lint_file(path, root=tmp_path)
+        assert findings == []
+        assert len(suppressed) == 1
+        assert suppressed[0].code == "RPR001"
+
+    def test_other_code_does_not_waive(self, tmp_path):
+        path = write(
+            tmp_path,
+            "src/app.py",
+            """\
+            def p(comm):
+                yield from comm.send(1, 42, None)  # noqa: RPR005
+            """,
+        )
+        findings, suppressed = lint_file(path, root=tmp_path)
+        assert [f.code for f in findings] == ["RPR001"]
+        assert suppressed == []
+
+
+class TestEngine:
+    def test_syntax_error_is_rpr000(self, tmp_path):
+        path = write(tmp_path, "bad.py", "def broken(:\n")
+        report = lint_paths([path], root=tmp_path)
+        assert not report.ok
+        assert report.findings[0].code == "RPR000"
+
+    def test_select_restricts(self, tmp_path):
+        write(
+            tmp_path,
+            "src/app.py",
+            """\
+            def f(x=[]):
+                yield from comm.send(1, 42, None)
+            """,
+        )
+        both = lint_paths([tmp_path], root=tmp_path)
+        assert sorted(both.counts()) == ["RPR001", "RPR004"]
+        only = lint_paths([tmp_path], select=["RPR004"], root=tmp_path)
+        assert sorted(only.counts()) == ["RPR004"]
+
+    def test_unknown_select_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown rule code"):
+            lint_paths([tmp_path], select=["RPR999"], root=tmp_path)
+
+    def test_json_output(self, tmp_path):
+        write(tmp_path, "src/app.py", "def f(x=[]):\n    pass\n")
+        report = lint_paths([tmp_path], root=tmp_path)
+        data = json.loads(report.to_json())
+        assert data["ok"] is False
+        assert data["counts"] == {"RPR004": 1}
+        assert data["findings"][0]["path"].endswith("app.py")
+
+    def test_format_mentions_location_and_code(self, tmp_path):
+        write(tmp_path, "src/app.py", "def f(x=[]):\n    pass\n")
+        report = lint_paths([tmp_path], root=tmp_path)
+        out = report.format()
+        assert "src/app.py:1" in out
+        assert "RPR004" in out
+        assert "1 file(s) checked" in out
+
+    def test_clean_tree_ok(self, tmp_path):
+        write(tmp_path, "src/app.py", "X = 1\n")
+        report = lint_paths([tmp_path], root=tmp_path)
+        assert report.ok
+        assert report.files_checked == 1

@@ -1,0 +1,480 @@
+"""One fixture battery per lint rule: positive, negative, noqa.
+
+Fixture files are written under a temp root so the rules' path scoping
+(tests exemption, deterministic packages, tag-authority modules) is
+exercised exactly as it is on the real tree.
+"""
+
+import textwrap
+
+from repro.analysis import lint_paths
+
+#: A path inside a deterministic package (RPR002/003/007 apply).
+DET = "src/repro/machine/mod.py"
+#: A path outside every deterministic package.
+NONDET = "src/repro/obs/mod.py"
+
+
+def run_lint(tmp_path, rel, source, select=None):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([path], select=select, root=tmp_path)
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+class TestRPR001RawTagLiteral:
+    def test_literal_tag_in_send(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def p(comm):
+                yield from comm.send(1, 42, None, nbytes=8)
+            """,
+        )
+        assert codes(rep) == ["RPR001"]
+
+    def test_literal_tag_keyword_and_sendrecv(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def p(comm):
+                yield from comm.recv(0, tag=3)
+                yield from comm.sendrecv(1, 0, 7, None)
+            """,
+        )
+        assert codes(rep) == ["RPR001", "RPR001"]
+
+    def test_literal_tag_in_raw_primitive(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def p(comm):
+                msg = yield ("tryrecv", 0, 5)
+            """,
+        )
+        assert codes(rep) == ["RPR001"]
+
+    def test_named_constant_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            TAG_HALO = 11
+
+            def p(comm):
+                yield from comm.send(1, TAG_HALO, None)
+            """,
+        )
+        assert rep.ok
+
+    def test_tests_tree_exempt(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "tests/test_x.py",
+            """\
+            def p(comm):
+                yield from comm.send(1, 42, None)
+            """,
+        )
+        assert rep.ok
+
+    def test_tag_authority_module_exempt(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/repro/machine/simmpi.py",
+            """\
+            def p(comm):
+                yield from comm.send(1, 42, None)
+            """,
+        )
+        assert "RPR001" not in codes(rep)
+
+    def test_noqa(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def p(comm):
+                yield from comm.send(1, 42, None)  # noqa: RPR001
+            """,
+        )
+        assert rep.ok and len(rep.suppressed) == 1
+
+
+class TestRPR002WallClock:
+    def test_time_time_in_deterministic_path(self, tmp_path):
+        rep = run_lint(tmp_path, DET, "import time\nt = time.time()\n")
+        assert codes(rep) == ["RPR002"]
+
+    def test_datetime_now(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            "import datetime\nn = datetime.datetime.now()\n",
+        )
+        assert codes(rep) == ["RPR002"]
+
+    def test_outside_deterministic_path_ok(self, tmp_path):
+        rep = run_lint(tmp_path, NONDET, "import time\nt = time.time()\n")
+        assert rep.ok
+
+    def test_virtual_time_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            def p(comm):
+                t = yield from comm.now()
+            """,
+        )
+        assert rep.ok
+
+    def test_noqa(self, tmp_path):
+        rep = run_lint(
+            tmp_path, DET, "import time\nt = time.time()  # noqa: RPR002\n"
+        )
+        assert rep.ok and len(rep.suppressed) == 1
+
+
+class TestRPR003UnseededRng:
+    def test_legacy_global_numpy(self, tmp_path):
+        rep = run_lint(
+            tmp_path, DET, "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        assert codes(rep) == ["RPR003"]
+
+    def test_unseeded_default_rng(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert codes(rep) == ["RPR003"]
+
+    def test_stdlib_random(self, tmp_path):
+        rep = run_lint(
+            tmp_path, DET, "import random\nx = random.random()\n"
+        )
+        assert codes(rep) == ["RPR003"]
+
+    def test_seeded_default_rng_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+        )
+        assert rep.ok
+
+    def test_outside_deterministic_path_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path, NONDET, "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        assert rep.ok
+
+    def test_noqa(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            "import random\nx = random.random()  # noqa: RPR003\n",
+        )
+        assert rep.ok and len(rep.suppressed) == 1
+
+
+class TestRPR004MutableDefault:
+    def test_list_literal_default(self, tmp_path):
+        rep = run_lint(tmp_path, "src/app.py", "def f(x=[]):\n    pass\n")
+        assert codes(rep) == ["RPR004"]
+
+    def test_dict_call_and_kwonly_default(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            "def f(a=dict(), *, b={}):\n    pass\n",
+        )
+        assert codes(rep) == ["RPR004", "RPR004"]
+
+    def test_lambda_default(self, tmp_path):
+        rep = run_lint(tmp_path, "src/app.py", "g = lambda x=[]: x\n")
+        assert codes(rep) == ["RPR004"]
+
+    def test_none_default_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            "def f(x=None, y=(), z=0):\n    pass\n",
+        )
+        assert rep.ok
+
+    def test_noqa(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            "def f(x=[]):  # noqa: RPR004\n    pass\n",
+        )
+        assert rep.ok and len(rep.suppressed) == 1
+
+
+class TestRPR005UnorderedSendLoop:
+    def test_set_loop_with_send(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            TAG = 1
+
+            def p(comm, dsts):
+                for d in set(dsts):
+                    yield from comm.send(d, TAG, None)
+            """,
+        )
+        assert codes(rep) == ["RPR005"]
+
+    def test_dict_view_loop_with_send(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            TAG = 1
+
+            def p(comm, batches):
+                for d, rows in batches.items():
+                    yield from comm.send(d, TAG, rows)
+            """,
+        )
+        assert codes(rep) == ["RPR005"]
+
+    def test_raw_inject_primitive_counts_as_send(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            TAG = 1
+
+            def p(comm, dsts):
+                for d in {0, 1}:
+                    yield ("inject", d, TAG, None, 8)
+            """,
+        )
+        assert codes(rep) == ["RPR005"]
+
+    def test_sorted_loop_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            TAG = 1
+
+            def p(comm, batches):
+                for d, rows in sorted(batches.items()):
+                    yield from comm.send(d, TAG, rows)
+            """,
+        )
+        assert rep.ok
+
+    def test_loop_without_send_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def f(batches):
+                out = 0
+                for d, rows in batches.items():
+                    out += len(rows)
+                return out
+            """,
+        )
+        assert rep.ok
+
+    def test_noqa(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            TAG = 1
+
+            def p(comm, dsts):
+                for d in set(dsts):  # noqa: RPR005
+                    yield from comm.send(d, TAG, None)
+            """,
+        )
+        assert rep.ok and len(rep.suppressed) == 1
+
+
+class TestRPR006SwallowedFailure:
+    def test_bare_except(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+            """,
+        )
+        assert codes(rep) == ["RPR006"]
+
+    def test_broad_except_around_yield(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def p(comm):
+                try:
+                    yield from comm.recv()
+                except Exception:
+                    pass
+            """,
+        )
+        assert codes(rep) == ["RPR006"]
+
+    def test_broad_except_with_reraise_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def p(comm):
+                try:
+                    yield from comm.recv()
+                except Exception:
+                    log()
+                    raise
+            """,
+        )
+        assert rep.ok
+
+    def test_broad_except_without_yield_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def f(x):
+                try:
+                    return int(x)
+                except Exception:
+                    return 0
+            """,
+        )
+        assert rep.ok
+
+    def test_specific_except_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def p(comm):
+                try:
+                    yield from comm.recv()
+                except ValueError:
+                    pass
+            """,
+        )
+        assert rep.ok
+
+    def test_noqa(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def f():
+                try:
+                    g()
+                except:  # noqa: RPR006
+                    pass
+            """,
+        )
+        assert rep.ok and len(rep.suppressed) == 1
+
+
+class TestRPR007HashOrderIteration:
+    def test_set_call_loop(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            def f(xs):
+                for x in set(xs):
+                    print(x)
+            """,
+        )
+        assert codes(rep) == ["RPR007"]
+
+    def test_set_algebra_loop(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            def f(xs):
+                for x in set(xs) - {-1}:
+                    print(x)
+            """,
+        )
+        assert codes(rep) == ["RPR007"]
+
+    def test_sorted_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            def f(xs):
+                for x in sorted(set(xs)):
+                    print(x)
+            """,
+        )
+        assert rep.ok
+
+    def test_dict_views_exempt(self, tmp_path):
+        # Python dicts are insertion-ordered, hence deterministic; only
+        # RPR005 (send loops) constrains them.
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            def f(d):
+                for k, v in d.items():
+                    print(k, v)
+            """,
+        )
+        assert rep.ok
+
+    def test_outside_deterministic_path_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            NONDET,
+            """\
+            def f(xs):
+                for x in set(xs):
+                    print(x)
+            """,
+        )
+        assert rep.ok
+
+    def test_noqa(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            def f(xs):
+                for x in set(xs):  # noqa: RPR007
+                    print(x)
+            """,
+        )
+        assert rep.ok and len(rep.suppressed) == 1
+
+
+class TestRealTree:
+    def test_src_lints_clean(self):
+        # The repo's own source must stay lint-clean (CI runs this too).
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        report = lint_paths([root / "src"], root=root)
+        assert report.ok, report.format()

@@ -135,3 +135,81 @@ class TestPhysics:
         assert rc == 0
         out = capsys.readouterr().out
         assert "forces:" in out
+
+
+class TestLintCommand:
+    def test_lint_clean_file_exits_zero(self, capsys, tmp_path):
+        f = tmp_path / "clean.py"
+        f.write_text("X = 1\n")
+        rc = main(["lint", str(f)])
+        assert rc == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_finding_exits_one(self, capsys, tmp_path):
+        f = tmp_path / "dirty.py"
+        f.write_text("def f(x=[]):\n    pass\n")
+        rc = main(["lint", str(f)])
+        assert rc == 1
+        assert "RPR004" in capsys.readouterr().out
+
+    def test_lint_json_output(self, capsys, tmp_path):
+        f = tmp_path / "dirty.py"
+        f.write_text("def f(x=[]):\n    pass\n")
+        rc = main(["lint", str(f), "--json"])
+        assert rc == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        assert data["counts"] == {"RPR004": 1}
+
+    def test_lint_select(self, capsys, tmp_path):
+        f = tmp_path / "dirty.py"
+        f.write_text("def f(x=[]):\n    pass\n")
+        rc = main(["lint", str(f), "--select", "RPR001"])
+        assert rc == 0
+
+    def test_lint_unknown_select_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown rule code"):
+            main(["lint", str(tmp_path), "--select", "RPR999"])
+
+    def test_lint_rules_catalog(self, capsys):
+        rc = main(["lint", "--rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR007"):
+            assert code in out
+
+    def test_lint_repo_src_is_clean(self, capsys):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        rc = main(["lint", str(src)])
+        assert rc == 0
+
+
+class TestSanitize:
+    def test_run_sanitized_clean(self, capsys):
+        rc = main([
+            "run", "x38", "--nodes", "4", "--scale", "0.05",
+            "--steps", "2", "--sanitize",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sanitizer: CLEAN" in out
+        assert "wildcard receives" in out
+
+    def test_run_without_sanitize_prints_no_report(self, capsys):
+        rc = main([
+            "run", "x38", "--nodes", "4", "--scale", "0.05",
+            "--steps", "2",
+        ])
+        assert rc == 0
+        assert "sanitizer" not in capsys.readouterr().out
+
+    def test_trace_sanitized_clean(self, capsys, tmp_path):
+        rc = main([
+            "trace", "airfoil", "--nodes", "4", "--scale", "0.05",
+            "--steps", "2", "--no-timeline", "--sanitize",
+            "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        assert "sanitizer: CLEAN" in capsys.readouterr().out
