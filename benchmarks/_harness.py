@@ -28,14 +28,28 @@ def bench_scale(default: float) -> float:
 
 def run_sweep(case_fn, machine_fn, node_counts, scale, nsteps, **case_kw):
     """Run one case over several node counts on one machine; returns
-    (runs, total_gridpoints)."""
+    (runs, total_gridpoints).
+
+    Every sweep runs under the SimMPI sanitizer (batched hooks, so the
+    cost is one set lookup per send): a message race or tag collision
+    in a benchmark config is a *wrong measurement*, not a soft warning,
+    so findings abort the sweep.
+    """
+    from repro.analysis.sanitizer import Sanitizer
+
     runs = []
     total = None
+    sanitizer = Sanitizer()
     for nodes in node_counts:
         cfg = case_fn(machine=machine_fn(nodes=nodes), scale=scale,
                       nsteps=nsteps, **case_kw)
         total = cfg.total_gridpoints
-        runs.append(OverflowD1(cfg).run())
+        runs.append(OverflowD1(cfg, sanitizer=sanitizer).run())
+    report = sanitizer.report()
+    if not report.ok:
+        raise RuntimeError(
+            "sanitizer findings during benchmark sweep:\n" + report.format()
+        )
     return runs, total
 
 

@@ -59,17 +59,26 @@ class AdaptiveRunResult:
 
 
 class AdaptiveDriver:
-    """Run an :class:`AdaptiveSystem` on the simulated machine."""
+    """Run an :class:`AdaptiveSystem` on the simulated machine.
+
+    ``sanitizer`` (a :class:`repro.analysis.sanitizer.Sanitizer`)
+    attaches the runtime SimMPI checker to every epoch's scheduler, so
+    the adaptive halo/regroup protocol is race- and tag-audited in the
+    same pass that measures it (the batched hook path keeps the
+    overhead negligible).
+    """
 
     def __init__(
         self,
         system: AdaptiveSystem,
         machine: MachineSpec,
         work: WorkModel = DEFAULT_WORK_MODEL,
+        sanitizer=None,
     ):
         self.system = system
         self.machine = machine
         self.work = work
+        self.sanitizer = sanitizer
 
     # ------------------------------------------------------------------
 
@@ -182,7 +191,7 @@ class AdaptiveDriver:
                 yield from comm.barrier()
             return None
 
-        sim = Simulator(self.machine)
+        sim = Simulator(self.machine, sanitizer=self.sanitizer)
         sim.spawn_all(program)
         return sim.run()
 

@@ -1,4 +1,4 @@
-"""The project lint rules (codes ``RPR001`` – ``RPR007``).
+"""The project lint rules (codes ``RPR001`` – ``RPR009``).
 
 Each rule enforces one invariant the simulated machine depends on; the
 rationale strings below are surfaced verbatim in
@@ -516,3 +516,117 @@ class HashOrderIteration(Rule):
                 f"for-loop over unordered {kind} in a deterministic "
                 "path; wrap the iterable in sorted(...)",
             )
+
+
+def _is_any_source(node: ast.AST | None) -> bool:
+    """Is this expression ``ANY_SOURCE`` (bare or dotted)?"""
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id == "ANY_SOURCE"
+    name = _dotted(node)
+    return name is not None and name.endswith(".ANY_SOURCE")
+
+
+@register
+class WildcardBlockingRecv(Rule):
+    code = "RPR008"
+    name = "wildcard-blocking-recv"
+    summary = (
+        "library code must not block on recv(ANY_SOURCE, ...); use "
+        "drain_recv / iprobe polling"
+    )
+    rationale = (
+        "A blocking wildcard receive matches whichever message the "
+        "scheduler delivers first, so the *protocol* becomes sensitive "
+        "to arrival order — exactly the coupling the sanitizer's "
+        "wildcard-race check exists to catch after the fact.  The "
+        "canonical pattern in this codebase is drain_recv(ANY_SOURCE, "
+        "tag), which receives every queued message for a tag in one "
+        "deterministic batch (cf. dcf.py), or an iprobe poll loop with "
+        "explicit termination.  Tests may still use recv(ANY_SOURCE) "
+        "to exercise the matching machinery itself."
+    )
+
+    _WILDCARD_RECVS = {"recv", "irecv"}
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not ctx.in_tests and not ctx.is_tag_module
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._WILDCARD_RECVS
+            ):
+                continue
+            src = _call_arg(node, 0, "src")
+            if _is_any_source(src):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{node.func.attr}(ANY_SOURCE, ...) blocks on "
+                    "arrival order; use drain_recv(ANY_SOURCE, tag) "
+                    "to batch-receive deterministically, or an iprobe "
+                    "loop with explicit termination",
+                )
+
+
+@register
+class UnorderedFloatReduction(Rule):
+    code = "RPR009"
+    name = "unordered-float-reduction"
+    summary = (
+        "no sum()/fsum() over sets / set algebra in deterministic "
+        "packages"
+    )
+    rationale = (
+        "Float addition is not associative: summing the same values in "
+        "a different order changes the last bits of the result, and "
+        "set iteration order follows PYTHONHASHSEED-dependent hashes.  "
+        "A sum over a set in machine/solver/connectivity/resilience/"
+        "core therefore breaks bit-identical golden traces across "
+        "interpreter invocations.  Sum a sorted(...) of the values "
+        "instead (dict views are insertion-ordered and exempt, "
+        "matching RPR007)."
+    )
+
+    _REDUCERS = {"sum", "fsum", "math.fsum"}
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_deterministic_path and not ctx.in_tests
+
+    def _unordered_arg_kind(self, arg: ast.AST) -> str | None:
+        """Unordered-kind of a reducer argument, or None.
+
+        Either the argument *is* an unordered iterable (``sum(set(x))``)
+        or it is a generator/comprehension drawing from one
+        (``sum(v for v in set(x))``).  Dict views are exempt.
+        """
+        kind = _unordered_iter_kind(arg)
+        if kind is not None and not kind.startswith("."):
+            return kind
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            for gen in arg.generators:
+                k = _unordered_iter_kind(gen.iter)
+                if k is not None and not k.startswith("."):
+                    return k
+        return None
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            name = _dotted(node.func)
+            if name not in self._REDUCERS:
+                continue
+            kind = self._unordered_arg_kind(node.args[0])
+            if kind is not None:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{name}() over unordered {kind} accumulates floats "
+                    "in hash order; reduce over sorted(...) for a "
+                    "bit-stable result",
+                )

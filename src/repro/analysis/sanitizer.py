@@ -175,6 +175,10 @@ class Sanitizer:
         self.max_findings_per_kind = max_findings_per_kind
         self.findings: list[SanitizerFinding] = []
         self.runs = 0
+        #: Python hook invocations actually executed (the scheduler's
+        #: batched mode elides most of them; see the hook-overhead
+        #: micro-benchmark in repro.obs.perf.bench).
+        self.hook_calls = 0
         self.messages_sent = 0
         self.messages_received = 0
         self.wildcard_recvs = 0
@@ -241,6 +245,7 @@ class Sanitizer:
         phase: str,
         dropped: bool,
     ) -> None:
+        self.hook_calls += 1
         self.messages_sent += 1
         if tag >= _COLL_TAG_BASE:
             return
@@ -282,7 +287,22 @@ class Sanitizer:
             )
 
     def on_recv(self, time: float, rank: int, msg) -> None:
+        self.hook_calls += 1
         self.messages_received += 1
+
+    def add_batched_counts(self, sends: int = 0, recvs: int = 0) -> None:
+        """Fold in hook calls the scheduler elided in batched mode.
+
+        The scheduler's default (batched) hook mode runs the full
+        :meth:`on_send` only for the first message of each
+        ``(tag, phase)`` key — every sanitizer send check keys on that
+        pair and deduplicates, so repeats carry no new information —
+        and counts plain receives locally.  The elided call counts are
+        flushed here at the end of each scheduler run so report totals
+        are identical to eager mode.
+        """
+        self.messages_sent += sends
+        self.messages_received += recvs
 
     def on_wildcard_recv(
         self,
@@ -301,6 +321,7 @@ class Sanitizer:
         the built-in collectives match by construction on order-
         insensitive state.
         """
+        self.hook_calls += 1
         self.wildcard_recvs += 1
         if tag >= _COLL_TAG_BASE:
             return
@@ -332,6 +353,7 @@ class Sanitizer:
     ) -> None:
         """A canonical-order drain consumed ``msgs`` — race-free by
         construction; only counted."""
+        self.hook_calls += 1
         self.messages_received += len(msgs)
 
     # ------------------------------------------------------------------

@@ -12,6 +12,9 @@ Usage (installed as ``python -m repro``):
     python -m repro physics --scale 0.05 --steps 20
     python -m repro lint src tests
     python -m repro run x38 --sanitize
+    python -m repro bench all --quick
+    python -m repro trace-diff benchmarks/baselines/BENCH_x38.json \
+        benchmarks/results/BENCH_x38.json
 
 ``run`` executes one OVERFLOW-D1 simulation and prints the paper's
 per-run statistics; with ``--fault`` / ``--checkpoint-every`` /
@@ -29,6 +32,13 @@ produces a Table-1-style speedup table over several node counts;
 dumps a Chrome ``trace_event`` JSON, a CSV rollup and an ASCII per-rank
 timeline (see docs/observability.md); ``physics`` runs the real coupled
 2-D solver on the oscillating-airfoil system.
+
+``bench`` runs the performance-observatory harness
+(:mod:`repro.obs.perf`): each case executes under the span tracer and
+sanitizer, is analyzed for critical path, comm matrix and f(p)=I(p)/Ibar
+imbalance, and lands as schema-versioned canonical ``BENCH_<case>.json``;
+``trace-diff`` classifies per-metric deltas between two such payloads
+and exits non-zero on regressions beyond tolerance — the CI perf gate.
 """
 
 from __future__ import annotations
@@ -259,6 +269,71 @@ def cmd_physics(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.obs.perf import BENCH_CASES, run_bench
+
+    if args.case == "all":
+        cases = sorted(BENCH_CASES)
+    elif args.case in BENCH_CASES:
+        cases = [args.case]
+    else:
+        raise SystemExit(
+            f"unknown bench case {args.case!r}; choose from "
+            f"{sorted(BENCH_CASES)} or 'all'"
+        )
+    exit_code = 0
+    for i, case in enumerate(cases):
+        print(f"bench {case} ({'quick' if args.quick else 'full'}, "
+              f"{args.repeats} repeat(s)) ...", file=sys.stderr)
+        payload, path = run_bench(
+            case,
+            args.out,
+            quick=args.quick,
+            repeats=args.repeats,
+            # One micro-bench per invocation is plenty.
+            microbench=not args.no_microbench and i == 0,
+        )
+        sim = payload["simulated"]
+        print(
+            f"{case}: {sim['elapsed_s']:.4f} simulated s over "
+            f"{sim['nsteps']} steps on {sim['nranks']} ranks "
+            f"({payload['host']['wall_s_median']:.2f} s wall median)"
+        )
+        print(
+            f"  Mflops/node {sim['mflops_per_node']:.1f}, "
+            f"%DCF3D {sim['pct_dcf3d']:.1f}%, "
+            f"max f(p) {sim['imbalance']['f_max']:.3f}, "
+            f"comm {sim['comm']['total_messages']} msgs / "
+            f"{sim['comm']['total_bytes']} B"
+        )
+        mb = payload["host"].get("hook_microbench")
+        if mb:
+            print(
+                f"  hook overhead: {mb['eager_hook_calls']} eager hook "
+                f"calls -> {mb['batched_hook_calls']} batched "
+                f"({mb['hook_call_reduction']:.0f}x fewer); per-send path "
+                f"{mb['eager_ns_per_send']:.0f} -> "
+                f"{mb['batched_ns_per_send']:.0f} ns "
+                f"({mb['hook_speedup']:.1f}x)"
+            )
+        if not sim["sanitizer"]["ok"]:
+            print(f"  sanitizer: FINDINGS {sim['sanitizer']['counts']}")
+            exit_code = 1
+        print(f"  wrote {path}")
+    return exit_code
+
+
+def cmd_trace_diff(args) -> int:
+    from repro.obs.perf import diff_files
+
+    try:
+        report = diff_files(args.a, args.b, tolerance=args.tolerance)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    print(report.to_json() if args.json else report.format())
+    return 0 if report.ok else 1
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import lint_paths, rule_catalog
 
@@ -358,6 +433,48 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--no-timeline", action="store_true",
                        help="skip the ASCII timeline")
     trace.set_defaults(fn=cmd_trace)
+
+    bench = sub.add_parser(
+        "bench",
+        help="performance observatory: canonical BENCH_<case>.json payloads",
+    )
+    bench.add_argument(
+        "case", help="airfoil | deltawing | store | x38 | all"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale/steps/nodes (the CI perf-gate configuration)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="wall-time repeats (median reported; simulated time must "
+        "be identical across repeats)",
+    )
+    bench.add_argument(
+        "--out", default=str(DEFAULT_TRACE_DIR),
+        help="output directory for BENCH_<case>.json files",
+    )
+    bench.add_argument(
+        "--no-microbench", action="store_true",
+        help="skip the sanitizer hook-overhead micro-benchmark",
+    )
+    bench.set_defaults(fn=cmd_bench)
+
+    tdiff = sub.add_parser(
+        "trace-diff",
+        help="classify per-metric deltas between two BENCH payloads; "
+        "exits 1 on regression beyond tolerance",
+    )
+    tdiff.add_argument("a", help="baseline BENCH_*.json")
+    tdiff.add_argument("b", help="candidate BENCH_*.json")
+    tdiff.add_argument(
+        "--tolerance", type=float, default=0.02,
+        help="relative tolerance for 'unchanged' (default 2%%)",
+    )
+    tdiff.add_argument(
+        "--json", action="store_true", help="emit the JSON report"
+    )
+    tdiff.set_defaults(fn=cmd_trace_diff)
 
     lint = sub.add_parser(
         "lint",

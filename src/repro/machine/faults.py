@@ -55,7 +55,7 @@ class FaultSpec:
     phase_index: int | None = None
     step: int | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.rank < 0:
             raise ValueError(f"fault rank must be >= 0, got {self.rank}")
         triggers = [

@@ -30,7 +30,11 @@ Two extensions support resilience experiments (:mod:`repro.resilience`):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+if TYPE_CHECKING:  # import would be circular at runtime (analysis -> machine)
+    from repro.analysis.sanitizer import Sanitizer
+    from repro.obs.tracer import Tracer
 
 from repro.machine import event
 from repro.machine.event import ANY_SOURCE, ANY_TAG, Mailbox, Message
@@ -86,6 +90,7 @@ class _RankState:
         "fault_time",
         "fault_phase",
         "phases_set",
+        "tacc",
     )
 
     def __init__(self, rank: int, gen: Generator):
@@ -96,6 +101,11 @@ class _RankState:
         self.blocked_on: tuple[int, int] | None = None  # (src, tag) of a recv
         self.phase = "default"
         self.metrics = RankMetrics(rank)
+        # Cached kind->seconds accumulator for the *current* phase,
+        # bound lazily on first charge (so a phase with no charged time
+        # never appears in the metrics — matching add_time semantics
+        # bit-for-bit) and invalidated on every set_phase.
+        self.tacc: dict | None = None
         self.alive = True
         self.failed = False  # fail-stopped by the fault plan
         self.retval: Any = None
@@ -134,11 +144,12 @@ class Simulator:
         self,
         machine: MachineSpec,
         trace: Callable[[str], None] | None = None,
-        tracer=None,
+        tracer: Tracer | None = None,
         fault_plan: FaultPlan | None = None,
         initial_clocks: list[float] | None = None,
         initial_metrics: list[RankMetrics] | None = None,
-        sanitizer=None,
+        sanitizer: Sanitizer | None = None,
+        eager_hooks: bool = False,
     ):
         self.machine = machine
         self.trace = trace
@@ -153,6 +164,21 @@ class Simulator:
         # virtual time or change matching, so sanitized runs are
         # bit-identical to plain runs.
         self._sanitizer = sanitizer
+        # Hook batching (default): the full Python ``on_send`` hook runs
+        # only for the first message of each (tag, phase) key — every
+        # later send with a seen key is a plain counter increment, and
+        # plain receives are counted locally; both are folded back into
+        # the sanitizer via ``add_batched_counts`` when the run ends.
+        # This is lossless for findings (every sanitizer check keys on
+        # the (tag, phase) pair, deduplicated) and drops the per-send
+        # overhead on message-heavy runs (see repro.obs.perf.bench's
+        # hook micro-benchmark).  ``eager_hooks=True`` restores one
+        # hook call per message — same findings, same counts, more
+        # Python overhead.
+        self._eager_hooks = bool(eager_hooks)
+        self._san_send_seen: set[tuple[int, str]] = set()
+        self._san_sends = 0  # elided on_send calls (batched mode)
+        self._san_recvs = 0  # elided on_recv calls (batched mode)
         self.fault_plan = fault_plan if fault_plan else None
         self.initial_clocks = (
             list(initial_clocks) if initial_clocks is not None else None
@@ -249,6 +275,15 @@ class Simulator:
             if events > max_events:
                 raise RuntimeError(f"simulation exceeded {max_events} events")
             self._step(state)
+
+        if self._sanitizer is not None and not self._eager_hooks:
+            # Fold the batched (elided-hook) counters back in before any
+            # exit path, so sanitizer totals match eager mode even when
+            # the run ends in RankFailure/DeadlockError below.
+            self._sanitizer.add_batched_counts(
+                sends=self._san_sends, recvs=self._san_recvs
+            )
+            self._san_sends = self._san_recvs = 0
 
         blocked = [s for s in states if s.alive]
         if self._failed and (blocked or raise_on_failure):
@@ -401,9 +436,16 @@ class Simulator:
         kind = op[0]
         if kind == "compute":
             _, dt, flops = op
+            if dt < 0:
+                raise ValueError(
+                    f"negative time increment {dt} in phase {state.phase!r}"
+                )
             t0 = state.clock
             state.clock += dt
-            state.metrics.add_time(state.phase, "compute", dt)
+            acc = state.tacc
+            if acc is None:
+                acc = state.tacc = state.metrics.time[state.phase]
+            acc["compute"] += dt
             if flops:
                 state.metrics.add_flops(state.phase, flops)
             if self._tracer is not None:
@@ -436,7 +478,15 @@ class Simulator:
             if msg is not None:
                 state.metrics.messages_received += 1
                 if self._sanitizer is not None:
-                    self._sanitizer.on_recv(state.clock, state.rank, msg)
+                    if self._eager_hooks:
+                        self._sanitizer.on_recv(state.clock, state.rank, msg)
+                    else:
+                        self._san_recvs += 1
+                if self._tracer is not None:
+                    self._tracer.recv(
+                        state.clock, state.rank, msg.src, msg.tag,
+                        msg.nbytes, state.phase,
+                    )
             state.send_value = msg
         elif kind == "drain":
             _, src, tag = op
@@ -444,6 +494,12 @@ class Simulator:
             msgs = state.mailbox.pop_all_matching(src, tag, state.clock)
             if msgs:
                 state.metrics.messages_received += len(msgs)
+                if self._tracer is not None:
+                    for m in msgs:
+                        self._tracer.recv(
+                            state.clock, state.rank, m.src, m.tag,
+                            m.nbytes, state.phase,
+                        )
             if self._sanitizer is not None:
                 self._sanitizer.on_drain(
                     state.clock, state.rank, src, tag, msgs
@@ -465,6 +521,7 @@ class Simulator:
                 return
             state.phases_set += 1
             old, state.phase = state.phase, op[1]
+            state.tacc = None  # re-bind the time accumulator lazily
             state.send_value = old
             if self._tracer is not None:
                 self._tracer.phase(state.rank, state.clock, state.phase)
@@ -481,7 +538,10 @@ class Simulator:
             arrival = state.clock + dt + net.latency
         t0 = state.clock
         state.clock += dt
-        state.metrics.add_time(state.phase, "comm", dt)
+        acc = state.tacc
+        if acc is None:
+            acc = state.tacc = state.metrics.time[state.phase]
+        acc["comm"] += dt
         state.metrics.messages_sent += 1
         state.metrics.bytes_sent += nbytes
         if self._tracer is not None:
@@ -489,12 +549,28 @@ class Simulator:
                 state.rank, state.phase, "comm", t0, state.clock,
                 nbytes=nbytes,
             )
+            self._tracer.send(
+                t0, state.rank, dst, tag, nbytes, state.phase
+            )
         target = self._states[dst]
         if self._sanitizer is not None:
-            self._sanitizer.on_send(
-                t0, state.rank, dst, tag, nbytes, state.phase,
-                dropped=target.failed,
-            )
+            if self._eager_hooks:
+                self._sanitizer.on_send(
+                    t0, state.rank, dst, tag, nbytes, state.phase,
+                    dropped=target.failed,
+                )
+            else:
+                key = (tag, state.phase)
+                if key in self._san_send_seen:
+                    # Every sanitizer send check keys on (tag, phase)
+                    # and is deduplicated, so a repeat is pure counting.
+                    self._san_sends += 1
+                else:
+                    self._san_send_seen.add(key)
+                    self._sanitizer.on_send(
+                        t0, state.rank, dst, tag, nbytes, state.phase,
+                        dropped=target.failed,
+                    )
         if target.failed:
             # Fail-stop semantics: the network can tell nobody is
             # listening; the message is black-holed (sender still paid
@@ -526,21 +602,34 @@ class Simulator:
         t0 = state.clock
         wait = max(0.0, msg.arrival_time - state.clock)
         state.clock = max(state.clock, msg.arrival_time)
-        state.metrics.add_time(state.phase, "wait", wait)
+        acc = state.tacc
+        if acc is None:
+            acc = state.tacc = state.metrics.time[state.phase]
+        acc["wait"] += wait
         state.metrics.messages_received += 1
         if self._sanitizer is not None:
-            self._sanitizer.on_recv(state.clock, state.rank, msg)
+            if self._eager_hooks:
+                self._sanitizer.on_recv(state.clock, state.rank, msg)
+            else:
+                self._san_recvs += 1
         state.send_value = msg
         if self._tracer is not None:
             self._tracer.op(
                 state.rank, state.phase, "wait", t0, state.clock,
                 nbytes=msg.nbytes,
             )
+            self._tracer.recv(
+                state.clock, state.rank, msg.src, msg.tag,
+                msg.nbytes, state.phase,
+            )
 
     def _charge_poll(self, state: _RankState) -> None:
         dt = self.machine.network.poll_overhead
         t0 = state.clock
         state.clock += dt
-        state.metrics.add_time(state.phase, "comm", dt)
+        acc = state.tacc
+        if acc is None:
+            acc = state.tacc = state.metrics.time[state.phase]
+        acc["comm"] += dt
         if self._tracer is not None:
             self._tracer.op(state.rank, state.phase, "comm", t0, state.clock)

@@ -636,13 +636,13 @@ class SubComm(Comm):
     # The *public* send/recv/iprobe with their user-tag guard are
     # inherited from Comm; only the unchecked primitives translate.
 
-    def _send(self, dst, tag, payload=None, nbytes=None):
+    def _send(self, dst: int, tag: int, payload: Any = None, nbytes: int | None = None) -> Generator:
         yield from self.parent._send(
             self._global(dst), self._tag(tag), payload, nbytes
         )
         return None
 
-    def _recv(self, src=ANY_SOURCE, tag=ANY_TAG):
+    def _recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         gsrc = ANY_SOURCE if src == ANY_SOURCE else self._global(src)
         msg = yield ("recv", gsrc, self._tag(tag))
         local_src = (
@@ -653,12 +653,12 @@ class SubComm(Comm):
         )
         return msg.payload, Status(local_src, local_tag, msg.nbytes)
 
-    def _iprobe(self, src=ANY_SOURCE, tag=ANY_TAG):
+    def _iprobe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         gsrc = ANY_SOURCE if src == ANY_SOURCE else self._global(src)
         found = yield ("iprobe", gsrc, self._tag(tag))
         return found
 
-    def _tryrecv(self, src, tag):
+    def _tryrecv(self, src: int, tag: int) -> Generator:
         gsrc = ANY_SOURCE if src == ANY_SOURCE else self._global(src)
         got = yield ("tryrecv", gsrc, self._tag(tag))
         if got is None:
@@ -671,7 +671,7 @@ class SubComm(Comm):
         )
         return replace(got, src=local_src, tag=local_tag)
 
-    def _drain(self, src, tag):
+    def _drain(self, src: int, tag: int) -> Generator:
         gsrc = ANY_SOURCE if src == ANY_SOURCE else self._global(src)
         msgs = yield ("drain", gsrc, self._tag(tag))
         out = []

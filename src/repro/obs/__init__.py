@@ -17,7 +17,10 @@ produces those series from the simulated machine:
   :mod:`repro.partition.dynamic_lb`;
 * :mod:`export` — Chrome ``trace_event`` JSON (loadable in
   ``chrome://tracing`` / Perfetto), CSV rollups, and an ASCII per-rank
-  timeline rendered through :mod:`repro.core.ascii_plot`.
+  timeline rendered through :mod:`repro.core.ascii_plot`;
+* :mod:`perf` — the performance observatory: critical-path and
+  comm-matrix analytics over recorded traces, the ``repro bench``
+  canonical-JSON harness and the ``repro trace-diff`` regression gate.
 
 See ``docs/observability.md`` for the schema and reading guide.
 """

@@ -1,0 +1,432 @@
+"""``repro bench``: canonical, schema-versioned benchmark payloads.
+
+Runs the table-reproduction scenarios (the same cases
+``benchmarks/test_table*`` sweep) through the full observability stack
+— span tracer, sanitizer, critical-path analyzer, comm matrix — and
+emits one ``BENCH_<case>.json`` per case:
+
+* the ``simulated`` section is **deterministic**: virtual elapsed time,
+  per-phase breakdown, imbalance metrics (including the paper's
+  f(p) = I(p)/Ibar), critical-path chain, comm-matrix totals and the
+  sanitizer verdict.  Two runs of the same case on the same code emit
+  byte-identical canonical JSON for this section — that is what
+  ``repro trace-diff`` and the CI perf gate compare.
+* the ``host`` section is **nondeterministic**: wall-clock medians and
+  the sanitizer hook-overhead micro-benchmark (eager per-send hooks
+  vs. the scheduler's batched counters).  trace-diff ignores it.
+
+Canonical JSON: ``sort_keys=True``, ``separators=(",", ":")``, one
+trailing newline, ``allow_nan=False`` (non-finite values are stringed),
+so byte equality == semantic equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_CASES",
+    "BenchSpec",
+    "bench_payload",
+    "canonical_json",
+    "config_sha",
+    "hook_overhead_microbench",
+    "run_bench",
+    "write_bench",
+]
+
+#: Version tag of the BENCH payload layout.  Bump on breaking changes;
+#: ``trace-diff`` refuses to compare payloads across schema versions.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One benchmark scenario (full and ``--quick`` knobs)."""
+
+    case: str
+    machine: str
+    nodes: int
+    scale: float
+    nsteps: int
+    f0: float = math.inf
+    quick_nodes: int = 6
+    quick_scale: float = 0.1
+    quick_nsteps: int = 3
+
+    def knobs(self, quick: bool) -> dict[str, Any]:
+        if quick:
+            return {
+                "nodes": self.quick_nodes,
+                "scale": self.quick_scale,
+                "nsteps": self.quick_nsteps,
+            }
+        return {"nodes": self.nodes, "scale": self.scale, "nsteps": self.nsteps}
+
+
+#: The bench trajectory: one spec per paper table case (single node
+#: count per case — the full sweeps stay in ``benchmarks/``).
+BENCH_CASES: dict[str, BenchSpec] = {
+    "airfoil": BenchSpec(
+        "airfoil", "sp2", nodes=12, scale=1.0, nsteps=5,
+        quick_nodes=8, quick_scale=0.25, quick_nsteps=3,
+    ),
+    "x38": BenchSpec(
+        "x38", "sp2", nodes=8, scale=0.25, nsteps=4,
+        quick_nodes=6, quick_scale=0.1, quick_nsteps=3,
+    ),
+    "deltawing": BenchSpec(
+        "deltawing", "sp2", nodes=12, scale=0.15, nsteps=4,
+        quick_nodes=8, quick_scale=0.05, quick_nsteps=3,
+    ),
+    # store keeps 16 nodes even in quick mode: the ejecting-store system
+    # has 16 grids and the static partitioner needs >= 1 node per grid.
+    "store": BenchSpec(
+        "store", "sp2", nodes=16, scale=0.15, nsteps=5, f0=2.0,
+        quick_nodes=16, quick_scale=0.05, quick_nsteps=3,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# canonical JSON
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce to canonical-JSON-safe types.
+
+    numpy scalars become python numbers; non-finite floats become
+    strings (``"inf"`` / ``"-inf"`` / ``"nan"``) so ``allow_nan=False``
+    holds; tuples become lists."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bool):
+        return value
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # "inf" / "-inf" / "nan"
+    return value
+
+
+def canonical_json(payload: dict) -> str:
+    """Byte-stable serialisation: equal payloads -> equal bytes."""
+    return (
+        json.dumps(
+            _jsonable(payload),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        + "\n"
+    )
+
+
+def config_sha(config: dict) -> str:
+    """sha256 of the canonical config dict."""
+    return hashlib.sha256(canonical_json(config).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# hook-overhead micro-benchmark
+
+#: Message tag used by the micro-benchmark's ring exchange.
+TAG_STORM = 7
+
+
+def _storm_program(comm, messages: int, nbytes: int):
+    """Message-heavy ring exchange: every rank sends ``messages``
+    point-to-point messages, then receives as many (explicit source —
+    wildcard-free, so the sanitizer stays clean)."""
+    yield from comm.set_phase("storm")
+    dst = (comm.rank + 1) % comm.size
+    src = (comm.rank - 1) % comm.size
+    for _ in range(messages):
+        yield from comm.send(dst, TAG_STORM, None, nbytes=nbytes)
+    for _ in range(messages):
+        yield from comm.recv(src, TAG_STORM)
+    return messages
+
+
+def _run_storm(
+    machine, nranks: int, messages: int, nbytes: int,
+    sanitizer, eager_hooks: bool,
+):
+    from repro.machine.scheduler import Simulator
+
+    sim = Simulator(machine, sanitizer=sanitizer, eager_hooks=eager_hooks)
+    for _ in range(nranks):
+        sim.spawn(_storm_program, messages, nbytes)
+    return sim.run()
+
+
+def _time_loop(fn: Callable[[int], None], n: int, rounds: int) -> float:
+    """Best-of-``rounds`` seconds for ``fn(n)`` (one untimed warm-up)."""
+    fn(n)
+    best = math.inf
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn(n)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def hook_overhead_microbench(
+    nranks: int = 8,
+    messages: int = 400,
+    nbytes: int = 64,
+    rounds: int = 5,
+    direct_calls: int = 50_000,
+) -> dict:
+    """Quantify the per-send cost of the sanitizer hooks, two ways.
+
+    **Deterministic part** — runs the same message-heavy ring exchange
+    under an eager-hook sanitizer (one Python ``on_send``/``on_recv``
+    call per message, the pre-batching behaviour) and under the
+    scheduler's default batched counters, and reports the *hook call
+    counts* each mode executed.  Batching's win is structural: eager
+    mode makes O(messages) Python calls, batched mode one full call
+    per distinct (tag, phase) key plus one ``add_batched_counts``
+    flush.  Both runs are also checked bit-equal in simulated time and
+    message totals, so the reduction is provably lossless.
+
+    **Timing part** — end-to-end wall time cannot resolve a few
+    hundred ns/send against the simulator's ~10 us/send dispatch
+    baseline on a noisy host, so the two hot-path variants are timed
+    directly: the full ``Sanitizer.on_send`` call (what eager mode
+    pays per message) vs. the seen-set membership test plus counter
+    increment (what batched mode pays).  Best-of-``rounds`` over
+    ``direct_calls`` iterations each.
+    """
+    from repro.analysis import Sanitizer
+    from repro.machine import sp2
+
+    machine = sp2(nodes=nranks)
+    total_sends = nranks * messages
+
+    plain_res = _run_storm(machine, nranks, messages, nbytes, None, False)
+    eager_san = Sanitizer()
+    eager_res = _run_storm(machine, nranks, messages, nbytes, eager_san, True)
+    batched_san = Sanitizer()
+    batched_res = _run_storm(
+        machine, nranks, messages, nbytes, batched_san, False
+    )
+
+    elapsed = {plain_res.elapsed, eager_res.elapsed, batched_res.elapsed}
+    if len(elapsed) != 1:  # pragma: no cover - determinism guard
+        raise RuntimeError(
+            f"sanitizer hooks perturbed virtual time: {sorted(elapsed)}"
+        )
+    if (
+        eager_san.messages_sent != batched_san.messages_sent
+        or eager_san.messages_received != batched_san.messages_received
+    ):  # pragma: no cover - determinism guard
+        raise RuntimeError("batched hook counters diverge from eager mode")
+
+    # Direct hot-path timing.  Eager per-send path: the full on_send.
+    timing_san = Sanitizer()
+
+    def eager_path(n: int, on_send=timing_san.on_send) -> None:
+        for _ in range(n):
+            on_send(0.0, 0, 1, TAG_STORM, nbytes, "storm", dropped=False)
+
+    # Batched per-send path: what Simulator._inject does for a seen
+    # (tag, phase) key — membership test + local counter increment.
+    seen = {(TAG_STORM, "storm")}
+
+    def batched_path(n: int) -> None:
+        count = 0
+        key = (TAG_STORM, "storm")
+        for _ in range(n):
+            if key in seen:
+                count += 1
+
+    eager_ns = _time_loop(eager_path, direct_calls, rounds) * 1e9 / direct_calls
+    batched_ns = (
+        _time_loop(batched_path, direct_calls, rounds) * 1e9 / direct_calls
+    )
+
+    return {
+        "nranks": nranks,
+        "messages_per_rank": messages,
+        "total_sends": total_sends,
+        # Deterministic, lossless-batching evidence:
+        "eager_hook_calls": eager_san.hook_calls,
+        "batched_hook_calls": batched_san.hook_calls,
+        "hook_call_reduction": (
+            eager_san.hook_calls / batched_san.hook_calls
+            if batched_san.hook_calls
+            else math.inf
+        ),
+        # Direct hot-path cost (host-dependent):
+        "eager_ns_per_send": eager_ns,
+        "batched_ns_per_send": batched_ns,
+        "hook_speedup": eager_ns / batched_ns if batched_ns > 0 else math.inf,
+    }
+
+
+# ----------------------------------------------------------------------
+# the bench harness
+
+
+def _build_config(spec: BenchSpec, quick: bool):
+    from repro.cases import airfoil_case, deltawing_case, store_case, x38_case
+    from repro.machine import MACHINE_PRESETS
+
+    builders = {
+        "airfoil": airfoil_case,
+        "deltawing": deltawing_case,
+        "store": store_case,
+        "x38": x38_case,
+    }
+    knobs = spec.knobs(quick)
+    machine = MACHINE_PRESETS[spec.machine](nodes=knobs["nodes"])
+    cfg = builders[spec.case](
+        machine=machine,
+        scale=knobs["scale"],
+        nsteps=knobs["nsteps"],
+        f0=spec.f0,
+    )
+    config_dict = {
+        "case": spec.case,
+        "machine": spec.machine,
+        "nodes": knobs["nodes"],
+        "scale": knobs["scale"],
+        "nsteps": knobs["nsteps"],
+        "f0": spec.f0,
+        "total_gridpoints": cfg.total_gridpoints,
+        "ngrids": len(cfg.grids),
+    }
+    return cfg, config_dict
+
+
+def bench_payload(
+    case: str,
+    quick: bool = False,
+    repeats: int = 3,
+    microbench: bool = True,
+) -> dict:
+    """Run one bench case; returns the full BENCH payload dict.
+
+    ``repeats`` runs measure wall time (median reported); every repeat
+    must produce the identical simulated elapsed time or a
+    ``RuntimeError`` flags the determinism violation.  Analytics come
+    from the final repeat's trace.
+    """
+    from repro.analysis import Sanitizer
+    from repro.core import OverflowD1
+    from repro.obs import SpanTracer
+    from repro.obs.perf.comm_matrix import CommMatrix
+    from repro.obs.perf.critical_path import analyze_critical_path
+
+    try:
+        spec = BENCH_CASES[case]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench case {case!r}; choose from {sorted(BENCH_CASES)}"
+        )
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    walls: list[float] = []
+    elapsed_seen: set[float] = set()
+    tracer = sanitizer = run = None
+    config_dict: dict[str, Any] = {}
+    for _ in range(repeats):
+        cfg, config_dict = _build_config(spec, quick)
+        tracer = SpanTracer()
+        sanitizer = Sanitizer(tracer=tracer)
+        t0 = time.perf_counter()
+        run = OverflowD1(cfg, tracer=tracer, sanitizer=sanitizer).run()
+        walls.append(time.perf_counter() - t0)
+        elapsed_seen.add(run.elapsed)
+    if len(elapsed_seen) != 1:  # pragma: no cover - determinism guard
+        raise RuntimeError(
+            f"simulated elapsed time varied across repeats: "
+            f"{sorted(elapsed_seen)}"
+        )
+
+    rollup = run.rollup()
+    igbp = run.igbp_rollup()
+    cp = analyze_critical_path(tracer, igbp=igbp)
+    comm = CommMatrix.from_tracer(tracer, nranks=rollup.nranks)
+    san_report = sanitizer.report()
+
+    simulated = {
+        "elapsed_s": run.elapsed,
+        "time_per_step_s": run.time_per_step,
+        "mflops_per_node": run.mflops_per_node,
+        "pct_dcf3d": run.pct_dcf3d,
+        "nsteps": run.nsteps,
+        "nranks": run.nprocs,
+        "phases": rollup.breakdown(),
+        "imbalance": {
+            "I": [int(v) for v in igbp.accumulated()],
+            "ibar": igbp.ibar(),
+            "f": [float(v) for v in igbp.f()],
+            "f_max": float(igbp.f().max()) if igbp.nranks else 0.0,
+        },
+        "critical_path": cp.to_dict(),
+        "comm": comm.to_dict(top_k=5),
+        "sanitizer": {
+            "ok": san_report.ok,
+            "counts": san_report.counts(),
+            "messages_sent": san_report.messages_sent,
+            "messages_received": san_report.messages_received,
+            "wildcard_recvs": san_report.wildcard_recvs,
+            "collectives": san_report.collectives,
+        },
+        "partition_history": [
+            [step, list(procs)] for step, procs in run.partition_history
+        ],
+    }
+    host: dict[str, Any] = {
+        "repeats": repeats,
+        "wall_s_median": statistics.median(walls),
+        "wall_s_all": walls,
+    }
+    if microbench:
+        host["hook_microbench"] = hook_overhead_microbench()
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "case": case,
+        "quick": quick,
+        "config": config_dict,
+        "config_sha": config_sha(config_dict),
+        "simulated": simulated,
+        "host": host,
+    }
+
+
+def write_bench(payload: dict, out_dir: str | Path) -> Path:
+    """Write ``BENCH_<case>.json`` (canonical form) under ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{payload['case']}.json"
+    path.write_text(canonical_json(payload))
+    return path
+
+
+def run_bench(
+    case: str,
+    out_dir: str | Path,
+    quick: bool = False,
+    repeats: int = 3,
+    microbench: bool = True,
+) -> tuple[dict, Path]:
+    """Run one case and persist its payload; returns (payload, path)."""
+    payload = bench_payload(
+        case, quick=quick, repeats=repeats, microbench=microbench
+    )
+    return payload, write_bench(payload, out_dir)

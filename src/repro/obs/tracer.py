@@ -7,7 +7,7 @@ disabled path costs one pointer comparison and allocates nothing —
 benchmark virtual times are bit-identical with tracing on or off
 (asserted by the golden-trace tests).
 
-Three event kinds are kept, all in *virtual seconds*:
+Five event kinds are kept, all in *virtual seconds*:
 
 ``op`` spans
     ``(rank, phase, kind, t0, t1, flops, nbytes)`` — one per scheduler
@@ -20,6 +20,15 @@ Three event kinds are kept, all in *virtual seconds*:
 ``mark`` instants
     ``(t, name, args)`` — driver-level annotations (epoch boundaries,
     repartitions).
+``send`` events
+    ``(t, src, dst, tag, nbytes, phase)`` — one per message injection
+    (including messages black-holed at failed ranks: the sender still
+    paid).  These feed :class:`repro.obs.perf.CommMatrix`.
+``recv`` events
+    ``(t, rank, src, tag, nbytes, phase)`` — one per message actually
+    consumed (blocking recv, successful tryrecv, or drain).  These let
+    :mod:`repro.obs.perf.critical_path` blame wait spans on the sender
+    whose message ended them.
 
 A multi-epoch run (the driver restarts the scheduler after each dynamic
 rebalance) calls :meth:`Tracer.advance` between epochs so recorded
@@ -66,6 +75,16 @@ class Tracer:
     def mark(self, t: float, name: str, **args: Any) -> None:
         """Record an instantaneous driver-level annotation."""
 
+    def send(
+        self, t: float, src: int, dst: int, tag: int, nbytes: int, phase: str
+    ) -> None:
+        """Record one message injection (``src`` -> ``dst``)."""
+
+    def recv(
+        self, t: float, rank: int, src: int, tag: int, nbytes: int, phase: str
+    ) -> None:
+        """Record one message consumption on ``rank`` (sender ``src``)."""
+
     # -- epoch plumbing -------------------------------------------------
 
     @property
@@ -93,6 +112,10 @@ class SpanTracer(Tracer):
         List of ``(rank, t, name)`` phase-switch marks.
     marks:
         List of ``(t, name, args)`` driver annotations.
+    sends:
+        List of ``(t, src, dst, tag, nbytes, phase)`` message injections.
+    recvs:
+        List of ``(t, rank, src, tag, nbytes, phase)`` consumptions.
     """
 
     enabled = True
@@ -101,6 +124,8 @@ class SpanTracer(Tracer):
         self.ops: list[tuple] = []
         self.phase_marks: list[tuple] = []
         self.marks: list[tuple] = []
+        self.sends: list[tuple] = []
+        self.recvs: list[tuple] = []
         self._offset = 0.0
 
     # -- recording ------------------------------------------------------
@@ -114,6 +139,12 @@ class SpanTracer(Tracer):
 
     def mark(self, t, name, **args) -> None:
         self.marks.append((t + self._offset, name, dict(args)))
+
+    def send(self, t, src, dst, tag, nbytes, phase) -> None:
+        self.sends.append((t + self._offset, src, dst, tag, nbytes, phase))
+
+    def recv(self, t, rank, src, tag, nbytes, phase) -> None:
+        self.recvs.append((t + self._offset, rank, src, tag, nbytes, phase))
 
     # -- epoch plumbing -------------------------------------------------
 

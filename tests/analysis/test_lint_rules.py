@@ -470,6 +470,185 @@ class TestRPR007HashOrderIteration:
         assert rep.ok and len(rep.suppressed) == 1
 
 
+class TestRPR008WildcardBlockingRecv:
+    def test_blocking_wildcard_recv(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            from repro.machine.event import ANY_SOURCE, ANY_TAG
+
+            def p(comm):
+                msg = yield from comm.recv(ANY_SOURCE, ANY_TAG)
+            """,
+        )
+        assert codes(rep) == ["RPR008"]
+
+    def test_dotted_any_source_and_irecv(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            from repro.machine import event
+
+            def p(comm, TAG_X):
+                req = yield from comm.irecv(src=event.ANY_SOURCE, tag=TAG_X)
+            """,
+        )
+        assert codes(rep) == ["RPR008"]
+
+    def test_drain_recv_is_canonical(self, tmp_path):
+        # drain_recv(ANY_SOURCE, tag) batch-receives deterministically;
+        # it is the recommended replacement, never flagged.
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            from repro.machine.event import ANY_SOURCE
+
+            def p(comm, TAG_X):
+                msgs = yield from comm.drain_recv(ANY_SOURCE, TAG_X)
+            """,
+        )
+        assert rep.ok
+
+    def test_explicit_source_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            def p(comm, TAG_X):
+                msg = yield from comm.recv(0, TAG_X)
+            """,
+        )
+        assert rep.ok
+
+    def test_tests_tree_exempt(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "tests/test_x.py",
+            """\
+            from repro.machine.event import ANY_SOURCE, ANY_TAG
+
+            def p(comm):
+                msg = yield from comm.recv(ANY_SOURCE, ANY_TAG)
+            """,
+        )
+        assert rep.ok
+
+    def test_tag_module_exempt(self, tmp_path):
+        # The tag-space authority modules implement the matching
+        # machinery itself.
+        rep = run_lint(
+            tmp_path,
+            "src/repro/machine/simmpi.py",
+            """\
+            ANY_SOURCE = -1
+
+            def p(comm, TAG_X):
+                msg = yield from comm.recv(ANY_SOURCE, TAG_X)
+            """,
+            select=["RPR008"],
+        )
+        assert rep.ok
+
+    def test_noqa(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            "src/app.py",
+            """\
+            from repro.machine.event import ANY_SOURCE
+
+            def p(comm, TAG_X):
+                msg = yield from comm.recv(ANY_SOURCE, TAG_X)  # noqa: RPR008
+            """,
+        )
+        assert rep.ok and len(rep.suppressed) == 1
+
+
+class TestRPR009UnorderedFloatReduction:
+    def test_sum_over_set_call(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            def f(xs):
+                return sum(set(xs))
+            """,
+        )
+        assert codes(rep) == ["RPR009"]
+
+    def test_fsum_over_set_algebra(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            import math
+
+            def f(a, b):
+                return math.fsum(set(a) - set(b))
+            """,
+        )
+        assert codes(rep) == ["RPR009"]
+
+    def test_generator_over_set(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            def f(xs):
+                return sum(x * x for x in set(xs))
+            """,
+        )
+        assert codes(rep) == ["RPR009"]
+
+    def test_sorted_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            def f(xs):
+                return sum(sorted(set(xs)))
+            """,
+        )
+        assert rep.ok
+
+    def test_dict_views_exempt(self, tmp_path):
+        # Insertion-ordered, hence deterministic (same carve-out as
+        # RPR007).
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            def f(d):
+                return sum(d.values()) + sum(v for v in d.values())
+            """,
+        )
+        assert rep.ok
+
+    def test_outside_deterministic_path_ok(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            NONDET,
+            """\
+            def f(xs):
+                return sum(set(xs))
+            """,
+        )
+        assert rep.ok
+
+    def test_noqa(self, tmp_path):
+        rep = run_lint(
+            tmp_path,
+            DET,
+            """\
+            def f(xs):
+                return sum(set(xs))  # noqa: RPR009
+            """,
+        )
+        assert rep.ok and len(rep.suppressed) == 1
+
+
 class TestRealTree:
     def test_src_lints_clean(self):
         # The repo's own source must stay lint-clean (CI runs this too).

@@ -1,0 +1,442 @@
+"""Performance-observatory tests (critical path, comm matrix, bench,
+trace-diff, hook batching).
+
+The determinism claims are load-bearing: the CI perf gate compares
+canonical BENCH JSON byte-for-byte (simulated section), so these tests
+assert bit-identical re-emission, zero-diff on identical runs, and the
+losslessness of the batched sanitizer hooks.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis import Sanitizer
+from repro.core import OverflowD1
+from repro.machine import sp2
+from repro.machine.scheduler import Simulator
+from repro.obs import SpanTracer
+from repro.obs.perf import (
+    BENCH_CASES,
+    BENCH_SCHEMA,
+    CommMatrix,
+    analyze_critical_path,
+    bench_payload,
+    canonical_json,
+    diff_bench,
+    diff_files,
+    hook_overhead_microbench,
+    run_bench,
+    write_bench,
+)
+from repro.obs.perf.bench import TAG_STORM, _run_storm, config_sha
+
+
+def x38_quick_payload(**kw):
+    kw.setdefault("quick", True)
+    kw.setdefault("repeats", 1)
+    kw.setdefault("microbench", False)
+    return bench_payload("x38", **kw)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return x38_quick_payload()
+
+
+@pytest.fixture(scope="module")
+def traced_x38():
+    """One traced x38 quick run: (run, tracer)."""
+    from repro.obs.perf.bench import BENCH_CASES, _build_config
+
+    cfg, _ = _build_config(BENCH_CASES["x38"], quick=True)
+    tracer = SpanTracer()
+    run = OverflowD1(cfg, tracer=tracer).run()
+    return run, tracer
+
+
+# ----------------------------------------------------------------------
+# canonical JSON
+
+
+class TestCanonicalJson:
+    def test_byte_stable_and_sorted(self):
+        a = canonical_json({"b": 1, "a": [1, 2, (3, 4)]})
+        b = canonical_json({"a": [1, 2, [3, 4]], "b": 1})
+        assert a == b
+        assert a.endswith("\n")
+        assert json.loads(a) == {"a": [1, 2, [3, 4]], "b": 1}
+
+    def test_non_finite_floats_stringed(self):
+        blob = canonical_json({"x": math.inf, "y": -math.inf, "z": math.nan})
+        assert json.loads(blob) == {"x": "inf", "y": "-inf", "z": "nan"}
+
+    def test_numpy_scalars(self):
+        np = pytest.importorskip("numpy")
+        blob = canonical_json({"i": np.int64(3), "f": np.float64(0.5)})
+        assert json.loads(blob) == {"i": 3, "f": 0.5}
+
+    def test_config_sha_is_stable(self):
+        cfg = {"case": "x38", "nodes": 6}
+        assert config_sha(cfg) == config_sha(dict(reversed(list(cfg.items()))))
+        assert config_sha(cfg) != config_sha({"case": "x38", "nodes": 8})
+
+
+# ----------------------------------------------------------------------
+# comm matrix
+
+
+class _FakeTracer:
+    def __init__(self, nranks, sends):
+        self.nranks = nranks
+        self.sends = sends
+
+
+class TestCommMatrix:
+    def test_add_and_totals(self):
+        m = CommMatrix(3)
+        m.add(0, 1, 100, "overflow")
+        m.add(0, 1, 100, "overflow")
+        m.add(2, 0, 7, "dcf3d")
+        assert m.total_bytes == 207
+        assert m.total_messages == 3
+        assert m.phases() == ["overflow", "dcf3d"]
+        assert m.bytes_matrix("overflow")[0, 1] == 200
+        assert m.msgs_matrix()[2, 0] == 1
+        assert m.bytes_matrix("nope").sum() == 0
+
+    def test_hot_edges_deterministic(self):
+        m = CommMatrix(4)
+        m.add(1, 2, 50, "p")
+        m.add(0, 3, 50, "p")  # same bytes/msgs: ties break by (src, dst)
+        m.add(2, 3, 900, "p")
+        edges = m.hot_edges(k=3)
+        assert [(e["src"], e["dst"]) for e in edges] == [(2, 3), (0, 3), (1, 2)]
+
+    def test_from_tracer_and_to_dict(self):
+        tr = _FakeTracer(2, [(0.0, 0, 1, 5, 64, "p"), (1.0, 1, 0, 5, 32, "p")])
+        m = CommMatrix.from_tracer(tr)
+        d = m.to_dict(top_k=1)
+        assert d["nranks"] == 2
+        assert d["total_bytes"] == 96
+        assert d["phases"]["p"]["entries"] == [[0, 1, 1, 64], [1, 0, 1, 32]]
+        assert len(d["hot_edges"]) == 1
+        # to_dict is canonical-JSON clean.
+        canonical_json(d)
+
+    def test_format_small_matrix(self):
+        m = CommMatrix(2)
+        m.add(0, 1, 2048, "p")
+        text = m.format()
+        assert "comm matrix" in text and "hot edge" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CommMatrix(0)
+
+
+# ----------------------------------------------------------------------
+# critical path
+
+
+class TestCriticalPath:
+    def test_x38_chain_shape(self, traced_x38):
+        run, tracer = traced_x38
+        cp = analyze_critical_path(tracer, igbp=run.igbp_rollup())
+        assert cp.nranks == run.nprocs
+        assert cp.nsteps == run.nsteps
+        assert cp.phase_order == ("overflow", "motion", "dcf3d")
+        # Barrier-separated chain: every in-cycle step contributes one
+        # link per phase it ran, ordered by (step, phase position).
+        keys = [(c.step, c.phase) for c in cp.chain]
+        assert keys == sorted(
+            keys, key=lambda k: (k[0], cp.phase_order.index(k[1]))
+        )
+        assert cp.chain_seconds > 0
+        # Every step contributes one link per cyclic phase.
+        assert len(cp.chain) == run.nsteps * len(cp.phase_order)
+        # Spans of adjacent links overlap across barrier skew, so the
+        # chain is an upper bound on the run (never shorter than the
+        # slowest single link).
+        assert cp.chain_seconds >= max(c.span for c in cp.chain)
+        for link in cp.chain:
+            assert link.t1 >= link.t0
+            assert link.imbalance >= 1.0 - 1e-12
+            assert 0 <= link.critical_rank < cp.nranks
+
+    def test_slack_accounting_closes(self, traced_x38):
+        run, tracer = traced_x38
+        cp = analyze_critical_path(tracer)
+        # Per rank, compute+comm+wait+barrier sums to the rank's share
+        # of the chain spans it participated in — all non-negative.
+        for r, s in cp.rank_slack.items():
+            assert 0 <= r < cp.nranks
+            for v in s.values():
+                assert v >= -1e-12
+        total_slack = sum(
+            s["wait_s"] + s["barrier_s"] for s in cp.rank_slack.values()
+        )
+        assert total_slack >= 0
+
+    def test_igbp_block_matches_rollup(self, traced_x38):
+        run, tracer = traced_x38
+        igbp = run.igbp_rollup()
+        cp = analyze_critical_path(tracer, igbp=igbp)
+        assert cp.igbp is not None
+        assert cp.igbp["I"] == [int(v) for v in igbp.accumulated()]
+        assert cp.igbp["f_max"] == pytest.approx(float(igbp.f().max()))
+
+    def test_wait_blame_names_real_ranks(self, traced_x38):
+        _run, tracer = traced_x38
+        cp = analyze_critical_path(tracer)
+        for _phase, blames in cp.wait_blame.items():
+            for rank, seconds in blames:
+                assert 0 <= rank < cp.nranks
+                assert seconds > 0
+
+    def test_deterministic_across_runs(self, traced_x38):
+        _run, tracer = traced_x38
+        from repro.obs.perf.bench import BENCH_CASES, _build_config
+
+        cfg, _ = _build_config(BENCH_CASES["x38"], quick=True)
+        tracer2 = SpanTracer()
+        OverflowD1(cfg, tracer=tracer2).run()
+        a = analyze_critical_path(tracer).to_dict(include_steps=True)
+        b = analyze_critical_path(tracer2).to_dict(include_steps=True)
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_format_and_to_dict(self, traced_x38):
+        run, tracer = traced_x38
+        cp = analyze_critical_path(tracer, igbp=run.igbp_rollup())
+        text = cp.format()
+        assert "critical path" in text and "IGBP imbalance" in text
+        d = cp.to_dict(include_steps=True)
+        assert len(d["steps"]) == len(cp.chain)
+        canonical_json(d)  # serialisable
+
+
+# ----------------------------------------------------------------------
+# hook batching
+
+
+class TestHookBatching:
+    def test_batched_run_bit_identical_to_eager(self):
+        machine = sp2(nodes=4)
+        results = {}
+        traces = {}
+        for mode, eager in (("eager", True), ("batched", False)):
+            tracer = SpanTracer()
+            san = Sanitizer()
+            sim = Simulator(
+                machine, tracer=tracer, sanitizer=san, eager_hooks=eager
+            )
+            from repro.obs.perf.bench import _storm_program
+
+            for _ in range(4):
+                sim.spawn(_storm_program, 20, 64)
+            res = sim.run()
+            results[mode] = (res.elapsed, san.messages_sent,
+                             san.messages_received, san.report().ok)
+            traces[mode] = (tracer.ops, tracer.sends, tracer.recvs)
+        assert results["eager"] == results["batched"]
+        assert traces["eager"] == traces["batched"]
+
+    def test_batched_findings_match_eager_on_tag_collision(self):
+        # Two subsystems sharing one tag in one phase: the finding (a
+        # src/dst collision profile) must survive batching because the
+        # full hook still runs for the first message of each key.
+        def prog(comm):
+            yield from comm.set_phase("p")
+            if comm.rank == 0:
+                yield from comm.send(2, TAG_STORM, None, nbytes=8)
+            elif comm.rank == 1:
+                yield from comm.send(2, TAG_STORM, None, nbytes=8)
+            else:
+                yield from comm.recv(0, TAG_STORM)
+                yield from comm.recv(1, TAG_STORM)
+            return None
+
+        codes = {}
+        for mode, eager in (("eager", True), ("batched", False)):
+            san = Sanitizer()
+            sim = Simulator(sp2(nodes=3), sanitizer=san, eager_hooks=eager)
+            sim.spawn_all(prog)
+            sim.run()
+            codes[mode] = sorted(f.code for f in san.report().findings)
+        assert codes["eager"] == codes["batched"]
+
+    def test_microbench_counts_and_losslessness(self):
+        out = hook_overhead_microbench(
+            nranks=4, messages=50, rounds=2, direct_calls=2_000
+        )
+        total = out["total_sends"]
+        assert total == 200
+        # Eager: one hook call per send + per recv (plus collectives if
+        # any); batched: one full on_send for the single (tag, phase)
+        # key. The reduction is the tentpole's structural win.
+        assert out["eager_hook_calls"] >= 2 * total
+        assert out["batched_hook_calls"] == 1
+        assert out["hook_call_reduction"] >= 2 * total
+        assert out["eager_ns_per_send"] > 0
+        assert out["batched_ns_per_send"] > 0
+
+
+# ----------------------------------------------------------------------
+# bench payloads
+
+
+class TestBenchPayload:
+    def test_schema_and_required_sections(self, payload):
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["case"] == "x38"
+        assert payload["quick"] is True
+        sim = payload["simulated"]
+        for key in (
+            "elapsed_s", "time_per_step_s", "mflops_per_node", "pct_dcf3d",
+            "nsteps", "nranks", "phases", "imbalance", "critical_path",
+            "comm", "sanitizer", "partition_history",
+        ):
+            assert key in sim, key
+        # The paper's f(p) = I(p)/Ibar series is present and consistent.
+        imb = sim["imbalance"]
+        assert len(imb["f"]) == sim["nranks"]
+        assert imb["f_max"] == pytest.approx(max(imb["f"]))
+        assert sim["sanitizer"]["ok"] is True
+
+    def test_simulated_section_bit_identical(self, payload):
+        again = x38_quick_payload()
+        assert canonical_json(payload["simulated"]) == canonical_json(
+            again["simulated"]
+        )
+        assert payload["config_sha"] == again["config_sha"]
+
+    def test_round_trip_re_emits_identical_bytes(self, payload, tmp_path):
+        path = write_bench(payload, tmp_path)
+        assert path.name == "BENCH_x38.json"
+        text = path.read_text()
+        assert canonical_json(json.loads(text)) == text
+
+    def test_unknown_case_and_bad_repeats(self):
+        with pytest.raises(ValueError, match="unknown bench case"):
+            bench_payload("nonsense")
+        with pytest.raises(ValueError, match="repeats"):
+            bench_payload("x38", repeats=0)
+
+    def test_run_bench_writes_file(self, tmp_path):
+        payload, path = run_bench(
+            "x38", tmp_path, quick=True, repeats=1, microbench=False
+        )
+        assert path.exists()
+        assert json.loads(path.read_text())["case"] == "x38"
+
+    def test_all_cases_have_specs(self):
+        assert {"airfoil", "x38", "deltawing", "store"} <= set(BENCH_CASES)
+        for spec in BENCH_CASES.values():
+            assert spec.knobs(True)["nsteps"] <= spec.knobs(False)["nsteps"]
+
+
+# ----------------------------------------------------------------------
+# trace-diff
+
+
+class TestTraceDiff:
+    def test_identical_payloads_zero_deltas(self, payload):
+        report = diff_bench(payload, payload)
+        assert report.ok
+        assert report.changed == []
+        assert "zero deltas" in report.format()
+
+    def test_identical_runs_zero_deltas(self, payload):
+        report = diff_bench(payload, x38_quick_payload())
+        assert report.ok and report.changed == []
+
+    def test_regression_and_improvement_direction(self, payload):
+        worse = json.loads(canonical_json(payload))
+        worse["simulated"]["elapsed_s"] *= 1.10  # +10% elapsed: worse
+        report = diff_bench(payload, worse, tolerance=0.02)
+        assert not report.ok
+        paths = [d.path for d in report.regressions]
+        assert "simulated.elapsed_s" in paths
+
+        better = json.loads(canonical_json(payload))
+        better["simulated"]["elapsed_s"] *= 0.90
+        report = diff_bench(payload, better, tolerance=0.02)
+        assert report.ok
+        assert any(
+            d.path == "simulated.elapsed_s" for d in report.improvements
+        )
+
+    def test_higher_is_better_metrics_invert(self, payload):
+        worse = json.loads(canonical_json(payload))
+        worse["simulated"]["mflops_per_node"] *= 0.80  # throughput drop
+        report = diff_bench(payload, worse)
+        assert any(
+            d.path == "simulated.mflops_per_node" for d in report.regressions
+        )
+
+    def test_structural_change_is_regression(self, payload):
+        other = json.loads(canonical_json(payload))
+        other["simulated"]["nranks"] += 1
+        report = diff_bench(payload, other)
+        assert not report.ok
+        assert any(d.kind == "changed" for d in report.regressions)
+
+    def test_within_tolerance_unchanged(self, payload):
+        near = json.loads(canonical_json(payload))
+        near["simulated"]["elapsed_s"] *= 1.001
+        assert diff_bench(payload, near, tolerance=0.02).ok
+
+    def test_schema_mismatch_raises(self, payload):
+        other = json.loads(canonical_json(payload))
+        other["schema"] = "repro-bench/0"
+        with pytest.raises(ValueError, match="schema mismatch"):
+            diff_bench(payload, other)
+
+    def test_deltas_sorted_by_path(self, payload):
+        other = json.loads(canonical_json(payload))
+        other["simulated"]["elapsed_s"] *= 2
+        other["simulated"]["extra_metric"] = 1.0
+        report = diff_bench(payload, other)
+        paths = [d.path for d in report.deltas]
+        assert paths == sorted(paths)
+        assert any(d.kind == "added" for d in report.deltas)
+
+    def test_diff_files(self, payload, tmp_path):
+        a = write_bench(payload, tmp_path / "a")
+        b = write_bench(payload, tmp_path / "b")
+        report = diff_files(a, b)
+        assert report.ok
+        blob = json.loads(report.to_json())
+        assert blob["ok"] is True and blob["deltas"] == []
+
+
+# ----------------------------------------------------------------------
+# sanitizer coverage of the adaptive driver (ISSUE satellite c)
+
+
+class TestAdaptiveDriverSanitized:
+    def test_adaptive_run_is_sanitizer_clean(self):
+        from repro.adapt import AdaptiveDriver, AdaptiveSystem
+        from repro.grids.bbox import AABB
+
+        system = AdaptiveSystem(
+            AABB((0.0, 0.0, 0.0), (4.0, 2.0, 2.0)),
+            brick_extent=1.0,
+            max_level=1,
+            points_per_brick=5,
+        )
+        system.adapt([AABB((0.4, 0.4, 0.4), (0.8, 0.8, 0.8))], margin=0.1)
+        san = Sanitizer()
+        drv = AdaptiveDriver(system, sp2(nodes=4), sanitizer=san)
+        drv.run(
+            nsteps=4,
+            body_boxes_fn=lambda step: [
+                AABB((0.4 + 0.2 * step, 0.4, 0.4), (0.8 + 0.2 * step, 0.8, 0.8))
+            ],
+            adapt_interval=2,
+        )
+        report = san.report()
+        assert report.ok, report.format()
+        assert report.messages_sent > 0
+        assert report.messages_sent == report.messages_received

@@ -213,3 +213,67 @@ class TestSanitize:
         ])
         assert rc == 0
         assert "sanitizer: CLEAN" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_writes_canonical_payload(self, capsys, tmp_path):
+        rc = main([
+            "bench", "x38", "--quick", "--repeats", "1",
+            "--no-microbench", "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Mflops/node" in out and "max f(p)" in out
+        path = tmp_path / "BENCH_x38.json"
+        assert path.exists()
+        blob = json.loads(path.read_text())
+        assert blob["schema"].startswith("repro-bench/")
+        assert blob["simulated"]["sanitizer"]["ok"] is True
+
+    def test_bench_unknown_case(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown bench case"):
+            main(["bench", "bogus", "--out", str(tmp_path)])
+
+
+class TestTraceDiff:
+    def _emit(self, tmp_path, name):
+        out = tmp_path / name
+        rc = main([
+            "bench", "x38", "--quick", "--repeats", "1",
+            "--no-microbench", "--out", str(out),
+        ])
+        assert rc == 0
+        return out / "BENCH_x38.json"
+
+    def test_identical_runs_diff_clean(self, capsys, tmp_path):
+        a = self._emit(tmp_path, "a")
+        b = self._emit(tmp_path, "b")
+        capsys.readouterr()
+        rc = main(["trace-diff", str(a), str(b)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "zero deltas" in out
+
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        a = self._emit(tmp_path, "a")
+        blob = json.loads(a.read_text())
+        blob["simulated"]["elapsed_s"] *= 1.5
+        b = tmp_path / "BENCH_worse.json"
+        b.write_text(json.dumps(blob))
+        capsys.readouterr()
+        rc = main(["trace-diff", str(a), str(b)])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_json_output(self, capsys, tmp_path):
+        a = self._emit(tmp_path, "a")
+        capsys.readouterr()
+        rc = main(["trace-diff", str(a), str(a), "--json"])
+        assert rc == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["ok"] is True and blob["deltas"] == []
+
+    def test_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace-diff", str(tmp_path / "no.json"),
+                  str(tmp_path / "pe.json")])
