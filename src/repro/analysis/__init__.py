@@ -24,15 +24,20 @@ from repro.analysis.lint import (
     register,
     rule_catalog,
 )
+from repro.analysis.fix import FixResult, fix_paths, fix_rpr007_source
 from repro.analysis.sanitizer import (
     FINDING_KINDS,
     Sanitizer,
     SanitizerFinding,
     SanitizerReport,
+    payload_signature,
 )
 
 __all__ = [
     "Finding",
+    "FixResult",
+    "fix_paths",
+    "fix_rpr007_source",
     "LintReport",
     "Rule",
     "iter_rules",
@@ -43,4 +48,5 @@ __all__ = [
     "Sanitizer",
     "SanitizerFinding",
     "SanitizerReport",
+    "payload_signature",
 ]

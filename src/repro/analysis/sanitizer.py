@@ -31,8 +31,12 @@ Checks (finding ``kind`` strings):
     never registered by a live :class:`~repro.machine.simmpi.SubComm`.
 ``collective-mismatch``
     Ranks of one communicator executed different collective sequences
-    (different op, root, or count) — the classic source of collective
-    deadlock on a real machine.
+    (different op, root, count — or, for element-wise collectives like
+    reduce/allreduce/alltoall, different payload size/shape/dtype
+    signatures) — the classic source of collective deadlock or silent
+    corruption on a real machine.  Size-varying collectives (gatherv-
+    style gathers, root-only bcast payloads) are exempt from the
+    payload check by construction.
 ``finalize-leak``
     A rank finished its program with unconsumed messages in its
     mailbox: somebody sent a message nobody ever received.
@@ -57,7 +61,13 @@ from typing import Any, Iterable
 from repro.machine.event import ANY_SOURCE, ANY_TAG
 from repro.machine.simmpi import MAX_USER_TAG, _COLL_TAG_BASE, describe_tag
 
-__all__ = ["Sanitizer", "SanitizerFinding", "SanitizerReport", "FINDING_KINDS"]
+__all__ = [
+    "Sanitizer",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "FINDING_KINDS",
+    "payload_signature",
+]
 
 FINDING_KINDS = (
     "message-race",
@@ -69,6 +79,52 @@ FINDING_KINDS = (
 
 #: World-communicator id used in collective sequence tracking.
 _WORLD = "world"
+
+
+def payload_signature(value: Any) -> tuple:
+    """Canonical cross-rank signature of one collective contribution.
+
+    Collapses a payload to the structural properties that must agree
+    across ranks for an element-wise collective to be well-formed:
+
+    * numpy arrays (anything with ``shape``/``dtype``) ->
+      ``("ndarray", shape, dtype_str)``;
+    * sequences -> ``("seq", length)`` — alltoall needs one payload
+      slot per rank, element-wise folds over lists need equal lengths;
+    * ``bytes`` -> ``("bytes", length)``;
+    * everything else -> ``("py", type_name)`` — a rank folding floats
+      against a rank folding dicts is a bug even though Python's ``+``
+      may not notice until much later.
+
+    Values inside containers are deliberately *not* inspected: the
+    signature is O(1) regardless of payload size, so the sanitizer's
+    no-perturbation guarantee (bit-identical virtual time) holds even
+    for multi-megabyte contributions.
+    """
+    if value is None:
+        return ("none",)
+    shape = getattr(value, "shape", None)
+    dtype = getattr(value, "dtype", None)
+    if shape is not None and dtype is not None:
+        return ("ndarray", tuple(int(s) for s in shape), str(dtype))
+    if isinstance(value, (bytes, bytearray)):
+        return ("bytes", len(value))
+    if isinstance(value, (list, tuple)):
+        return ("seq", len(value))
+    return ("py", type(value).__name__)
+
+
+def _fmt_coll_entry(entry: tuple | None) -> str:
+    """Human-readable ``(name, root, signature)`` sequence entry."""
+    if entry is None:
+        return "nothing (sequence ended)"
+    name, root, sig = entry
+    details = []
+    if root >= 0:
+        details.append(f"root={root}")
+    if sig is not None:
+        details.append(f"payload={sig}")
+    return f"{name}({', '.join(details)})" if details else name
 
 
 @dataclass(frozen=True)
@@ -371,13 +427,25 @@ class Sanitizer:
         comm_id: Any,
         name: str,
         root: int | None,
+        payload: Any = None,
+        has_payload: bool = False,
     ) -> None:
         """Rank ``rank`` (global numbering) entered collective ``name``
-        on communicator ``comm_id`` (``"world"`` or group tuple)."""
+        on communicator ``comm_id`` (``"world"`` or group tuple).
+
+        ``has_payload=True`` marks collectives whose contribution must
+        agree across ranks (reduce/allreduce element-wise folds,
+        alltoall's one-payload-per-rank list); ``payload`` is then
+        summarised by :func:`payload_signature` and compared as part of
+        the per-rank sequence.  Size-varying collectives (gather of
+        per-rank work, root-only bcast payloads) pass
+        ``has_payload=False`` so legitimate variation is not flagged.
+        """
         self.collectives += 1
+        sig = payload_signature(payload) if has_payload else None
         seqs = self._coll_seq.setdefault(comm_id, {})
         seqs.setdefault(rank, []).append(
-            (name, -1 if root is None else int(root))
+            (name, -1 if root is None else int(root), sig)
         )
 
     # ------------------------------------------------------------------
@@ -469,7 +537,8 @@ class Sanitizer:
                     None,
                     f"collective sequence diverges from rank {ref} at "
                     f"entry {div} on communicator {comm_id!r}: "
-                    f"rank {ref} executed {a}, rank {r} executed {b} "
+                    f"rank {ref} executed {_fmt_coll_entry(a)}, "
+                    f"rank {r} executed {_fmt_coll_entry(b)} "
                     f"(lengths {len(ref_seq)} vs {len(got)})",
                     comm=repr(comm_id),
                     index=div,

@@ -1,0 +1,74 @@
+"""The simulator backend: the existing scheduler behind the backend API.
+
+This is a thin adapter — it builds a
+:class:`repro.machine.scheduler.Simulator` with exactly the arguments it
+always took and spawns the programs in rank order, so a run through
+``get_backend("sim")`` is *bit-identical* (virtual clocks, metrics,
+trace events, sanitizer findings) to constructing the scheduler
+directly.  The golden-trace regression battery pins this equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.backend.api import BackendResult, ExecutionBackend, RankProgram
+from repro.machine.scheduler import Simulator
+
+__all__ = ["SimBackend"]
+
+
+class SimBackend(ExecutionBackend):
+    """Conservative discrete-event execution over modeled virtual time.
+
+    * deterministic: results and traces are a pure function of inputs;
+    * ``shared_state=True``: all rank generators live in one process and
+      may close over (and mutate) shared driver objects;
+    * supports the full feature surface — fault injection, sanitizer
+      shadow layer, warm-started clocks/metrics.
+    """
+
+    name = "sim"
+    shared_state = True
+    measured = False
+
+    def run(
+        self,
+        machine: Any,
+        programs: Sequence[RankProgram],
+        *,
+        tracer: Any = None,
+        sanitizer: Any = None,
+        fault_plan: Any = None,
+        initial_clocks: Sequence[float] | None = None,
+        initial_metrics: Sequence[Any] | None = None,
+        eager_hooks: bool = False,
+        max_events: int = 500_000_000,
+        raise_on_failure: bool = True,
+    ) -> BackendResult:
+        if not programs:
+            raise ValueError("no rank programs given")
+        sim = Simulator(
+            machine,
+            tracer=tracer,
+            fault_plan=fault_plan,
+            initial_clocks=(
+                list(initial_clocks) if initial_clocks is not None else None
+            ),
+            initial_metrics=(
+                list(initial_metrics) if initial_metrics is not None else None
+            ),
+            sanitizer=sanitizer,
+            eager_hooks=eager_hooks,
+        )
+        for program in programs:
+            sim.spawn(program)
+        out = sim.run(max_events=max_events, raise_on_failure=raise_on_failure)
+        return BackendResult(
+            elapsed=out.elapsed,
+            returns=out.returns,
+            metrics=out.metrics,
+            failed_ranks=out.failed_ranks,
+            backend=self.name,
+            measured=False,
+        )

@@ -4,6 +4,7 @@ Usage (installed as ``python -m repro``):
 
     python -m repro list
     python -m repro run airfoil --machine sp2 --nodes 12 --scale 0.5 --steps 5
+    python -m repro run --case airfoil --backend mp --nodes 4 --scale 0.25
     python -m repro run airfoil --steps 60 --checkpoint-every 25 \
         --checkpoint-dir ckpts --fault rank=3@step=40
     python -m repro resume ckpts
@@ -13,8 +14,19 @@ Usage (installed as ``python -m repro``):
     python -m repro lint src tests
     python -m repro run x38 --sanitize
     python -m repro bench all --quick
+    python -m repro bench x38 --quick --compare
+    python -m repro bench airfoil --quick --backend mp
     python -m repro trace-diff benchmarks/baselines/BENCH_x38.json \
         benchmarks/results/BENCH_x38.json
+
+``run``/``trace``/``bench`` accept ``--backend {sim,mp}``: ``sim`` is
+the deterministic discrete-event simulator (modeled virtual time, the
+default and the only backend the CI gates compare); ``mp`` executes the
+same rank programs on real ``multiprocessing`` processes and reports
+measured wall time — physics (Q fields, IGBP counts) are identical by
+construction and cross-checked.  ``bench --compare`` additionally
+trace-diffs each fresh payload against ``benchmarks/baselines/`` in the
+same invocation.
 
 ``run`` executes one OVERFLOW-D1 simulation and prints the paper's
 per-run statistics; with ``--fault`` / ``--checkpoint-every`` /
@@ -84,6 +96,34 @@ def _case(name: str, machine, scale: float, steps: int, f0: float):
     return builder(machine=machine, scale=scale, nsteps=steps, f0=f0)
 
 
+def _case_name(args) -> str:
+    """The case from the positional argument or the ``--case`` flag."""
+    pos = getattr(args, "case_pos", None)
+    opt = getattr(args, "case_opt", None)
+    if pos and opt and pos != opt:
+        raise SystemExit(
+            f"conflicting case names: positional {pos!r} vs --case {opt!r}"
+        )
+    name = opt or pos
+    if not name:
+        raise SystemExit("no case given (positional argument or --case)")
+    return name
+
+
+def _backend(args):
+    """Resolve ``--backend`` to an engine; SystemExit on bad names."""
+    from repro.backend import BackendUnavailable, backend_help, get_backend
+
+    name = getattr(args, "backend", "sim")
+    try:
+        return get_backend(name)
+    except (ValueError, BackendUnavailable) as exc:
+        lines = "\n".join(
+            f"  {n:<6} {doc}" for n, doc in backend_help().items()
+        )
+        raise SystemExit(f"{exc}\nregistered backends:\n{lines}")
+
+
 def cmd_list(_args) -> int:
     print("cases:    " + ", ".join(sorted(CASES)))
     print("machines: " + ", ".join(sorted(MACHINE_PRESETS)))
@@ -121,8 +161,9 @@ def _finish_sanitizer(san) -> int:
     return 0 if report.ok else 1
 
 
-def _print_run(r) -> None:
-    print(f"time/step        {r.time_per_step:.4f} simulated s")
+def _print_run(r, measured: bool = False) -> None:
+    unit = "measured wall s" if measured else "simulated s"
+    print(f"time/step        {r.time_per_step:.4f} {unit}")
     print(f"Mflops/node      {r.mflops_per_node:.1f}")
     print(f"%time in DCF3D   {r.pct_dcf3d:.1f}%")
     for step, procs in r.partition_history:
@@ -131,7 +172,7 @@ def _print_run(r) -> None:
         print(rec.describe())
     if r.recoveries:
         print(
-            f"wall (incl. rollback) {r.wall_elapsed:.4f} simulated s, "
+            f"wall (incl. rollback) {r.wall_elapsed:.4f} {unit}, "
             f"downtime {r.downtime:.4f} s over {len(r.recoveries)} "
             f"recovery(ies)"
         )
@@ -139,15 +180,24 @@ def _print_run(r) -> None:
 
 def cmd_run(args) -> int:
     machine = _machine(args.machine, args.nodes)
-    cfg = _case(args.case, machine, args.scale, args.steps, args.f0)
+    engine = _backend(args)
+    case = _case_name(args)
+    cfg = _case(case, machine, args.scale, args.steps, args.f0)
     print(
         f"{cfg.name}: {cfg.total_gridpoints} points, {len(cfg.grids)} "
         f"grids, {machine.name} x {machine.nodes} nodes, "
-        f"f0={'inf' if math.isinf(args.f0) else args.f0}"
+        f"f0={'inf' if math.isinf(args.f0) else args.f0}, "
+        f"backend={engine.name}"
     )
     san = _make_sanitizer(args)
-    r = OverflowD1(cfg, sanitizer=san, **_resilience_kwargs(args)).run()
-    _print_run(r)
+    try:
+        driver = OverflowD1(
+            cfg, sanitizer=san, backend=engine, **_resilience_kwargs(args)
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    r = driver.run()
+    _print_run(r, measured=engine.measured)
     return _finish_sanitizer(san)
 
 
@@ -177,11 +227,12 @@ def cmd_resume(args) -> int:
 
 def cmd_sweep(args) -> int:
     node_counts = sorted(int(v) for v in args.nodes.split(","))
+    case = _case_name(args)
     runs = []
     total = None
     for nodes in node_counts:
         machine = _machine(args.machine, nodes)
-        cfg = _case(args.case, machine, args.scale, args.steps, args.f0)
+        cfg = _case(case, machine, args.scale, args.steps, args.f0)
         total = cfg.total_gridpoints
         print(f"running {nodes} nodes ...", file=sys.stderr)
         runs.append(OverflowD1(cfg).run())
@@ -201,27 +252,39 @@ def cmd_trace(args) -> int:
     )
 
     machine = _machine(args.machine, args.nodes)
-    cfg = _case(args.case, machine, args.scale, args.steps, args.f0)
+    engine = _backend(args)
+    case = _case_name(args)
+    cfg = _case(case, machine, args.scale, args.steps, args.f0)
     print(
         f"{cfg.name}: {cfg.total_gridpoints} points, {len(cfg.grids)} "
-        f"grids, {machine.name} x {machine.nodes} nodes, tracing enabled"
+        f"grids, {machine.name} x {machine.nodes} nodes, tracing enabled, "
+        f"backend={engine.name}"
     )
     tracer = SpanTracer()
     san = _make_sanitizer(args, tracer=tracer)
-    run = OverflowD1(
-        cfg, tracer=tracer, sanitizer=san, **_resilience_kwargs(args)
-    ).run()
+    try:
+        driver = OverflowD1(
+            cfg,
+            tracer=tracer,
+            sanitizer=san,
+            backend=engine,
+            **_resilience_kwargs(args),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    run = driver.run()
 
     rollup = run.rollup()
     igbp = run.igbp_rollup()
     out_dir = Path(args.out)
-    trace_path = write_chrome_trace(tracer, out_dir / f"trace_{args.case}.json")
+    trace_path = write_chrome_trace(tracer, out_dir / f"trace_{case}.json")
     csv_path = write_rollup_csv(
-        rollup, out_dir / f"trace_{args.case}_rollup.csv"
+        rollup, out_dir / f"trace_{case}_rollup.csv"
     )
 
+    unit = "wall" if tracer.clock == "wall" else "virtual"
     print(f"\n{len(tracer.ops)} span events over {run.elapsed:.4f} "
-          f"virtual s ({run.nsteps} steps, {len(run.epochs)} epochs)")
+          f"{unit} s ({run.nsteps} steps, {len(run.epochs)} epochs)")
     print(rollup.format_breakdown())
     ig = igbp.summary()
     print(f"\nI(p) over the last window: {ig['I']}")
@@ -272,19 +335,22 @@ def cmd_physics(args) -> int:
 def cmd_bench(args) -> int:
     from repro.obs.perf import BENCH_CASES, run_bench
 
-    if args.case == "all":
+    case_name = _case_name(args)
+    if case_name == "all":
         cases = sorted(BENCH_CASES)
-    elif args.case in BENCH_CASES:
-        cases = [args.case]
+    elif case_name in BENCH_CASES:
+        cases = [case_name]
     else:
         raise SystemExit(
-            f"unknown bench case {args.case!r}; choose from "
+            f"unknown bench case {case_name!r}; choose from "
             f"{sorted(BENCH_CASES)} or 'all'"
         )
+    engine = _backend(args)  # fail fast on unknown/unavailable names
     exit_code = 0
     for i, case in enumerate(cases):
         print(f"bench {case} ({'quick' if args.quick else 'full'}, "
-              f"{args.repeats} repeat(s)) ...", file=sys.stderr)
+              f"{args.repeats} repeat(s), backend={engine.name}) ...",
+              file=sys.stderr)
         payload, path = run_bench(
             case,
             args.out,
@@ -292,6 +358,7 @@ def cmd_bench(args) -> int:
             repeats=args.repeats,
             # One micro-bench per invocation is plenty.
             microbench=not args.no_microbench and i == 0,
+            backend=engine.name,
         )
         sim = payload["simulated"]
         print(
@@ -316,10 +383,38 @@ def cmd_bench(args) -> int:
                 f"{mb['batched_ns_per_send']:.0f} ns "
                 f"({mb['hook_speedup']:.1f}x)"
             )
+        meas = payload["host"].get("measured")
+        if meas:
+            match = "physics match" if meas["igbp_matches_simulated"] \
+                else "PHYSICS MISMATCH"
+            print(
+                f"  measured ({meas['backend']}): "
+                f"{meas['elapsed_s_median']:.4f} wall s median, "
+                f"{meas['time_per_step_s']:.4f} s/step, "
+                f"Mflops/node {meas['mflops_per_node']:.1f}, "
+                f"%DCF3D {meas['pct_dcf3d']:.1f}% [{match}]"
+            )
+            if not meas["igbp_matches_simulated"]:
+                exit_code = 1
         if not sim["sanitizer"]["ok"]:
             print(f"  sanitizer: FINDINGS {sim['sanitizer']['counts']}")
             exit_code = 1
         print(f"  wrote {path}")
+        if args.compare:
+            from repro.obs.perf import diff_files
+
+            baseline = Path(args.baseline_dir) / path.name
+            if not baseline.is_file():
+                print(f"  compare: no baseline {baseline}", file=sys.stderr)
+                exit_code = 1
+                continue
+            try:
+                report = diff_files(baseline, path, tolerance=args.tolerance)
+            except (OSError, ValueError) as exc:
+                raise SystemExit(str(exc))
+            print(report.format())
+            if not report.ok:
+                exit_code = 1
     return exit_code
 
 
@@ -335,7 +430,7 @@ def cmd_trace_diff(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.analysis import lint_paths, rule_catalog
+    from repro.analysis import fix_paths, lint_paths, rule_catalog
 
     if args.rules:
         for rule in rule_catalog():
@@ -343,6 +438,9 @@ def cmd_lint(args) -> int:
         return 0
     paths = args.paths or ["src"]
     select = args.select.split(",") if args.select else None
+    if args.fix:
+        result = fix_paths(paths)
+        print(result.format())
     try:
         report = lint_paths(paths, select=select)
     except (ValueError, FileNotFoundError) as exc:
@@ -363,12 +461,30 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_list
     )
 
+    def case_args(sp, extra=""):
+        sp.add_argument(
+            "case_pos", nargs="?", metavar="case", default=None,
+            help="airfoil | deltawing | store | x38" + extra,
+        )
+        sp.add_argument(
+            "--case", dest="case_opt", metavar="CASE",
+            help="case name (flag alternative to the positional)",
+        )
+
     def common(sp):
-        sp.add_argument("case", help="airfoil | deltawing | store | x38")
+        case_args(sp)
         sp.add_argument("--machine", default="sp2")
         sp.add_argument("--scale", type=float, default=0.1)
         sp.add_argument("--steps", type=int, default=5)
         sp.add_argument("--f0", type=float, default=math.inf)
+
+    def backend_opt(sp):
+        sp.add_argument(
+            "--backend", default="sim", metavar="NAME",
+            help="execution backend: 'sim' (modeled virtual time, "
+            "deterministic; default) or 'mp' (real multiprocessing "
+            "ranks, measured wall time, identical physics)",
+        )
 
     def sanitize(sp):
         sp.add_argument(
@@ -398,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=int, default=12)
     resilience(run)
     sanitize(run)
+    backend_opt(run)
     run.set_defaults(fn=cmd_run)
 
     resume = sub.add_parser(
@@ -426,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--nodes", type=int, default=8)
     resilience(trace)
     sanitize(trace)
+    backend_opt(trace)
     trace.add_argument("--out", default=str(DEFAULT_TRACE_DIR),
                        help="output directory for trace/rollup files")
     trace.add_argument("--width", type=int, default=72,
@@ -438,9 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="performance observatory: canonical BENCH_<case>.json payloads",
     )
-    bench.add_argument(
-        "case", help="airfoil | deltawing | store | x38 | all"
-    )
+    case_args(bench, extra=" | all")
     bench.add_argument(
         "--quick", action="store_true",
         help="reduced scale/steps/nodes (the CI perf-gate configuration)",
@@ -457,6 +573,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-microbench", action="store_true",
         help="skip the sanitizer hook-overhead micro-benchmark",
+    )
+    backend_opt(bench)
+    bench.add_argument(
+        "--compare", action="store_true",
+        help="after each case, trace-diff the fresh payload against the "
+        "committed baseline and exit non-zero on regressions",
+    )
+    bench.add_argument(
+        "--baseline-dir",
+        default=str(Path(__file__).resolve().parents[2]
+                    / "benchmarks" / "baselines"),
+        help="baseline directory for --compare "
+        "(default: benchmarks/baselines)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.02,
+        help="relative tolerance for --compare (default 2%%)",
     )
     bench.set_defaults(fn=cmd_bench)
 
@@ -494,6 +627,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules", action="store_true",
         help="list the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="auto-fix RPR007 findings in place (wrap unordered loop "
+        "iterables in sorted(...)), then lint the result",
     )
     lint.set_defaults(fn=cmd_lint)
 

@@ -330,6 +330,64 @@ def donor_search(
         fracs[rows[hit]] = again.fracs[hit]
         escaped[rows[hit]] = False
 
+    # Last-resort neighbourhood probe (full-grid searches only): a
+    # diagonal walk step can cross the index boundary in one component
+    # while the *clipped* in-window cell is the true donor — boundary
+    # cells of strongly wavy grids push the first Newton guess outside
+    # the unit cube, so the walk aborts as "escaped" one cell short,
+    # and the opposite-edge retry above only helps periodic (O-grid)
+    # wraps.  Newton-test the clipped last cell and its immediate
+    # in-window neighbours directly; acceptance requires the solution
+    # inside the cube *and* a converged residual, so genuinely
+    # uncovered points (true orphans) still fail every candidate.
+    # Windowed (distributed) searches skip this: their escapes are
+    # forwarding hints and must stay bit-identical.
+    if full_grid and not found.all():
+        rows = np.nonzero(~found)[0]
+        base = np.clip(cells[rows], lo, hi)
+        targets = pts[rows]
+        offsets = np.stack(
+            np.meshgrid(*([np.array([0, -1, 1])] * ndim), indexing="ij"),
+            axis=-1,
+        ).reshape(-1, ndim)  # (0,...,0) first: the clipped cell itself
+        remaining = np.ones(rows.size, dtype=bool)
+        for off in offsets:
+            if not remaining.any():
+                break
+            sub = np.nonzero(remaining)[0]
+            cand = np.clip(base[sub] + off, lo, hi)
+            s = np.full((sub.size, ndim), 0.5)
+            if ndim == 2:
+                corners = _corners2d(xyz, cand)
+                for _ in range(newton_iters):
+                    r = _map2d(*corners, s) - targets[sub]
+                    J = _jac2d(*corners, s)
+                    s = s - np.clip(_solve_clamped(J, r), -1e6, 1e6)
+                    if np.abs(r).max() < tol:
+                        break
+                resid = np.abs(_map2d(*corners, s) - targets[sub]).max(axis=1)
+            else:
+                corners = _corners3d(xyz, cand)
+                for _ in range(newton_iters):
+                    r = _map3d(corners, s) - targets[sub]
+                    J = _jac3d(corners, s)
+                    s = s - np.clip(_solve_clamped(J, r), -1e6, 1e6)
+                    if np.abs(r).max() < tol:
+                        break
+                resid = np.abs(_map3d(corners, s) - targets[sub]).max(axis=1)
+            steps[rows[sub]] += 1  # one Newton solve ~ one walk step
+            inside = (
+                np.all((s >= -1e-9) & (s <= 1 + 1e-9), axis=1)
+                & (resid <= 1e-8)
+            )
+            hit = sub[inside]
+            gi = rows[hit]
+            found[gi] = True
+            cells[gi] = cand[inside]
+            fracs[gi] = np.clip(s[inside], 0.0, 1.0)
+            escaped[gi] = False
+            remaining[hit] = False
+
     # Anything still active after max_steps is not found.
     return DonorSearchResult(
         cells=cells, fracs=fracs, found=found, steps=steps, escaped=escaped

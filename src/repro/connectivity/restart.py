@@ -100,6 +100,31 @@ class RestartCache:
         """
         return self._donor_grid.get(receiver, {}).get(int(flat_index), -1)
 
+    def merge(
+        self, other: "RestartCache", base_hits: int = 0, base_misses: int = 0
+    ) -> None:
+        """Fold another cache's entries into this one.
+
+        Used by execution backends without shared state (each rank
+        process mutated a private copy of the cache during a chunk):
+        the driver merges every rank's copy back so the next chunk —
+        and any repartition that moves point ownership between ranks —
+        sees exactly the union a shared cache would hold.  Ownership of
+        IGBP flat indices is disjoint across ranks within a chunk, so
+        entry merging is conflict-free; ``other``'s entries win where
+        keys collide (they are newer).
+
+        ``base_hits``/``base_misses`` are the counter values ``other``
+        started from (its fork point), so counters accumulate lookup
+        *deltas* and match what a shared cache would have counted.
+        """
+        for key, table in other._cells.items():
+            self._cells.setdefault(key, {}).update(table)
+        for receiver, table in other._donor_grid.items():
+            self._donor_grid.setdefault(receiver, {}).update(table)
+        self.hits += other.hits - base_hits
+        self.misses += other.misses - base_misses
+
     def invalidate(self, receiver: int | None = None) -> None:
         """Drop cached donors (all, or one receiver grid's)."""
         if receiver is None:

@@ -54,6 +54,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.backend import ExecutionBackend, get_backend
 from repro.connectivity.dcf import DcfConfig, DcfWorld, dcf_rank_program
 from repro.connectivity.holecut import cut_holes
 from repro.connectivity.igbp import find_igbps
@@ -61,7 +62,6 @@ from repro.connectivity.restart import RestartCache
 from repro.core.config import CaseConfig
 from repro.machine.faults import FaultPlan, FaultSpec, RankFailure
 from repro.machine.metrics import MachineMetrics
-from repro.machine.scheduler import Simulator
 from repro.obs.rollup import IgbpRollup, PhaseRollup
 from repro.partition.assignment import Partition, build_partition
 from repro.partition.dynamic_lb import DynamicRebalancer
@@ -423,6 +423,16 @@ class OverflowD1:
     recovery_policy:
         Modeled restore/repartition costs and the detection timeout
         (:class:`repro.resilience.recovery.RecoveryPolicy`).
+    backend:
+        Execution engine for the rank programs: a registry name
+        (``"sim"``/``"mp"``) or an
+        :class:`repro.backend.ExecutionBackend` instance.  The default
+        ``"sim"`` runs on the deterministic discrete-event simulator,
+        bit-identical to every release before backends existed.
+        ``"mp"`` runs each rank as a real process with measured
+        wall-clock accounting; physics outputs (step stats, IGBP
+        counts) are identical, timings are measured rather than
+        modeled.  Fault injection and the sanitizer require ``"sim"``.
     """
 
     def __init__(
@@ -434,8 +444,25 @@ class OverflowD1:
         checkpoint_store=None,
         recovery_policy: RecoveryPolicy | None = None,
         sanitizer=None,
+        backend: str | ExecutionBackend = "sim",
     ):
         self.config = config
+        self.backend = (
+            backend
+            if isinstance(backend, ExecutionBackend)
+            else get_backend(backend)
+        )
+        if not self.backend.shared_state:
+            if sanitizer is not None:
+                raise ValueError(
+                    "the sanitizer needs the deterministic simulator; "
+                    "run with backend='sim'"
+                )
+            if fault_plan:
+                raise ValueError(
+                    "fault injection needs the deterministic simulator; "
+                    "run with backend='sim'"
+                )
         self.tracer = (
             tracer if tracer is not None and tracer.enabled else None
         )
@@ -813,12 +840,30 @@ class OverflowD1:
         """Simulate ``nsteps`` timesteps at a fixed partition.
 
         ``clocks``/``metrics`` warm-start the per-rank virtual clocks
-        and counter accumulators (continuing a split epoch); returns the
-        raw :class:`repro.machine.scheduler.SimulationResult`.
+        and counter accumulators (continuing a split epoch); returns a
+        :class:`repro.backend.BackendResult` (field-compatible with the
+        scheduler's ``SimulationResult``).
+
+        Backends without shared state (real processes) need three
+        deviations, all behind ``shared_state``:
+
+        * every rank advances its *private* world copy in the motion
+          phase (rank 0 alone would leave peers' copies stale);
+        * each rank returns its private restart cache alongside its
+          step stats, and the driver merges them back (ownership of
+          IGBP points is disjoint within a chunk, so the union equals
+          the shared cache's content at every read point — the
+          backend-equivalence tests pin this);
+        * the driver re-synchronises its own world copy to the chunk's
+          end time (``at(t)`` motions are deterministic functions of
+          absolute time, so this is exact).
         """
         cfg = self.config
         nprocs = partition.nprocs
+        shared_state = self.backend.shared_state
         caches = [cache] * nprocs
+        base_hits = cache.hits if cache is not None else 0
+        base_misses = cache.misses if cache is not None else 0
         neighbors = _halo_neighbors(partition)
         dcf_cfg = DcfConfig(
             search_lists=cfg.search_lists, use_restart=cfg.use_restart
@@ -896,7 +941,11 @@ class OverflowD1:
                     yield from comm.compute(
                         flops=cfg.work.motion_flops(own_pts)
                     )
-                if rank == 0:
+                if rank == 0 or not shared_state:
+                    # Shared state: rank 0 advances the one world every
+                    # rank reads.  Private state (mp): every rank must
+                    # advance its own copy — deterministic in absolute
+                    # time, so all copies agree bit-for-bit.
                     world.advance((step + 1) * cfg.dt)
                 yield from comm.barrier()
 
@@ -927,18 +976,36 @@ class OverflowD1:
                     )
                 )
                 yield from comm.barrier()
-            return stats_out
+            if shared_state:
+                return stats_out
+            # Private-state backends ship the rank's cache copy home so
+            # the driver can merge this chunk's warm-start data.
+            return stats_out, caches[rank]
 
-        sim = Simulator(
+        out = self.backend.run(
             cfg.machine.with_nodes(nprocs),
+            [program] * nprocs,
             tracer=tracer,
             fault_plan=fault_plan,
             initial_clocks=clocks,
             initial_metrics=metrics,
             sanitizer=self.sanitizer,
         )
-        sim.spawn_all(program)
-        return sim.run()
+        if not shared_state:
+            returns = []
+            for ret in out.returns:
+                stats, rank_cache = ret
+                returns.append(stats)
+                if cache is not None and rank_cache is not None:
+                    cache.merge(
+                        rank_cache,
+                        base_hits=base_hits,
+                        base_misses=base_misses,
+                    )
+            out.returns = returns
+            # Bring the driver's own world copy up to the chunk end.
+            world.advance((first_step + nsteps) * cfg.dt)
+        return out
 
 
 def resume_run(
@@ -949,6 +1016,7 @@ def resume_run(
     checkpoint_store=None,
     recovery_policy: RecoveryPolicy | None = None,
     sanitizer=None,
+    backend: str | ExecutionBackend = "sim",
 ) -> RunResult:
     """Resume an OVERFLOW-D1 run from a checkpoint file/object.
 
@@ -966,5 +1034,6 @@ def resume_run(
         checkpoint_store=checkpoint_store,
         recovery_policy=recovery_policy,
         sanitizer=sanitizer,
+        backend=backend,
     )
     return driver.resume(checkpoint)

@@ -40,6 +40,10 @@ from repro.machine.event import ANY_SOURCE, ANY_TAG
 #: the bound with an explicit guard.
 MAX_USER_TAG = 10_000_000
 
+#: Sentinel distinguishing "collective without a payload check" from a
+#: legitimately-``None`` payload in sanitizer notifications.
+_NO_PAYLOAD = object()
+
 # Reserved tag space for collectives; sits above every possible
 # SubComm offset (< 998 * MAX_USER_TAG) plus user tag.
 _COLL_TAG_BASE = 100_000_000_000
@@ -139,11 +143,31 @@ class Comm:
     # sanitizer shadow layer
     # ------------------------------------------------------------------
 
-    def _san_collective(self, name: str, root: int | None = None) -> None:
+    def _san_collective(
+        self,
+        name: str,
+        root: int | None = None,
+        payload: Any = _NO_PAYLOAD,
+    ) -> None:
         """Notify the sanitizer (if any) of a collective entry; global
-        rank numbering, world communicator."""
+        rank numbering, world communicator.
+
+        ``payload`` is forwarded for element-wise collectives
+        (reduce/allreduce/alltoall) so the sanitizer can compare O(1)
+        size/shape/dtype signatures across ranks; collectives with
+        legitimately rank-varying contributions (gather, bcast) omit
+        it.  The sentinel keeps ``payload=None`` distinguishable from
+        "no payload check"."""
         if self._san is not None:
-            self._san.on_collective(self.rank, "world", name, root)
+            has = payload is not _NO_PAYLOAD
+            self._san.on_collective(
+                self.rank,
+                "world",
+                name,
+                root,
+                payload if has else None,
+                has,
+            )
 
     # ------------------------------------------------------------------
     # time and work
@@ -381,7 +405,7 @@ class Comm:
         nbytes: int | None = None,
     ) -> Generator:
         """Gather-based reduce; root returns the reduction, others None."""
-        self._san_collective("reduce", root)
+        self._san_collective("reduce", root, payload=value)
         gathered = yield from self.gather(value, root, nbytes)
         if self.rank != root:
             return None
@@ -396,13 +420,13 @@ class Comm:
         op: Callable[[Any, Any], Any] = lambda a, b: a + b,
         nbytes: int | None = None,
     ) -> Generator:
-        self._san_collective("allreduce")
+        self._san_collective("allreduce", payload=value)
         reduced = yield from self.reduce(value, op, 0, nbytes)
         return (yield from self.bcast(reduced, 0, nbytes))
 
     def alltoall(self, payloads: list, nbytes: int | None = None) -> Generator:
         """Personalised all-to-all; ``payloads[i]`` goes to rank i."""
-        self._san_collective("alltoall")
+        self._san_collective("alltoall", payload=payloads)
         if len(payloads) != self.size:
             raise ValueError("alltoall needs one payload per rank")
         out: list[Any] = [None] * self.size
@@ -607,15 +631,23 @@ class SubComm(Comm):
                 tuple(self.members), self._tag_offset, parent.rank
             )
 
-    def _san_collective(self, name: str, root: int | None = None) -> None:
+    def _san_collective(
+        self,
+        name: str,
+        root: int | None = None,
+        payload: Any = _NO_PAYLOAD,
+    ) -> None:
         """Collective entry under the *group* communicator id, with
         global rank numbering (so cross-rank comparison is stable)."""
         if self._san is not None:
+            has = payload is not _NO_PAYLOAD
             self._san.on_collective(
                 self.parent.rank,
                 ("group",) + tuple(self.members),
                 name,
                 root,
+                payload if has else None,
+                has,
             )
 
     # -- rank/tag translation -------------------------------------------

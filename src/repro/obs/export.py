@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
 from repro.obs.rollup import PhaseRollup
 from repro.obs.tracer import SpanTracer
@@ -34,7 +35,7 @@ _US = 1.0e6  # virtual seconds -> trace_event microseconds
 
 def chrome_trace(tracer: SpanTracer, pretty: bool = False) -> str:
     """Serialise a trace to Chrome ``trace_event`` JSON (object format)."""
-    events: list[dict] = [
+    events: list[dict[str, Any]] = [
         {
             "name": "process_name",
             "ph": "M",
@@ -69,7 +70,7 @@ def chrome_trace(tracer: SpanTracer, pretty: bool = False) -> str:
                 }
             )
     for rank, phase, kind, t0, t1, flops, nbytes in tracer.ops:
-        ev = {
+        ev: dict[str, Any] = {
             "name": kind,
             "cat": phase,
             "ph": "X",
@@ -78,7 +79,7 @@ def chrome_trace(tracer: SpanTracer, pretty: bool = False) -> str:
             "pid": 0,
             "tid": rank,
         }
-        args = {}
+        args: dict[str, Any] = {}
         if flops:
             args["flops"] = flops
         if nbytes:
@@ -103,7 +104,7 @@ def chrome_trace(tracer: SpanTracer, pretty: bool = False) -> str:
     return json.dumps(doc, indent=2 if pretty else None)
 
 
-def write_chrome_trace(tracer: SpanTracer, path) -> Path:
+def write_chrome_trace(tracer: SpanTracer, path: str | Path) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(chrome_trace(tracer) + "\n")
@@ -124,7 +125,7 @@ def rollup_csv(rollup: PhaseRollup) -> str:
     return "\n".join(lines)
 
 
-def write_rollup_csv(rollup: PhaseRollup, path) -> Path:
+def write_rollup_csv(rollup: PhaseRollup, path: str | Path) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(rollup_csv(rollup) + "\n")

@@ -14,6 +14,10 @@ emits one ``BENCH_<case>.json`` per case:
 * the ``host`` section is **nondeterministic**: wall-clock medians and
   the sanitizer hook-overhead micro-benchmark (eager per-send hooks
   vs. the scheduler's batched counters).  trace-diff ignores it.
+  With ``backend="mp"`` it additionally gains a ``measured`` block:
+  the same Table-1/3/4-shape numbers (time/step, Mflops/node, %DCF3D)
+  re-measured on real ``multiprocessing`` ranks with wall clocks —
+  printed next to the modeled ones, never compared by the CI gate.
 
 Canonical JSON: ``sort_keys=True``, ``separators=(",", ":")``, one
 trailing newline, ``allow_nan=False`` (non-finite values are stringed),
@@ -159,9 +163,9 @@ def _storm_program(comm, messages: int, nbytes: int):
 
 
 def _run_storm(
-    machine, nranks: int, messages: int, nbytes: int,
-    sanitizer, eager_hooks: bool,
-):
+    machine: Any, nranks: int, messages: int, nbytes: int,
+    sanitizer: Any, eager_hooks: bool,
+) -> Any:
     from repro.machine.scheduler import Simulator
 
     sim = Simulator(machine, sanitizer=sanitizer, eager_hooks=eager_hooks)
@@ -187,7 +191,7 @@ def hook_overhead_microbench(
     nbytes: int = 64,
     rounds: int = 5,
     direct_calls: int = 50_000,
-) -> dict:
+) -> dict[str, Any]:
     """Quantify the per-send cost of the sanitizer hooks, two ways.
 
     **Deterministic part** — runs the same message-heavy ring exchange
@@ -279,7 +283,7 @@ def hook_overhead_microbench(
 # the bench harness
 
 
-def _build_config(spec: BenchSpec, quick: bool):
+def _build_config(spec: BenchSpec, quick: bool) -> tuple[Any, dict[str, Any]]:
     from repro.cases import airfoil_case, deltawing_case, store_case, x38_case
     from repro.machine import MACHINE_PRESETS
 
@@ -315,6 +319,7 @@ def bench_payload(
     quick: bool = False,
     repeats: int = 3,
     microbench: bool = True,
+    backend: str = "sim",
 ) -> dict:
     """Run one bench case; returns the full BENCH payload dict.
 
@@ -322,6 +327,13 @@ def bench_payload(
     must produce the identical simulated elapsed time or a
     ``RuntimeError`` flags the determinism violation.  Analytics come
     from the final repeat's trace.
+
+    ``backend`` selects an *additional* measured pass: the canonical
+    ``simulated`` section always comes from the ``sim`` backend (it is
+    what the CI perf gate compares), but ``backend="mp"`` re-runs the
+    case on real multiprocessing ranks and lands measured time/step,
+    Mflops/node and %DCF3D under ``host["measured"]`` — including an
+    ``igbp_matches_simulated`` physics cross-check.
     """
     from repro.analysis import Sanitizer
     from repro.core import OverflowD1
@@ -350,6 +362,8 @@ def bench_payload(
         run = OverflowD1(cfg, tracer=tracer, sanitizer=sanitizer).run()
         walls.append(time.perf_counter() - t0)
         elapsed_seen.add(run.elapsed)
+    # repeats >= 1 was validated above, so the loop body ran.
+    assert tracer is not None and sanitizer is not None and run is not None
     if len(elapsed_seen) != 1:  # pragma: no cover - determinism guard
         raise RuntimeError(
             f"simulated elapsed time varied across repeats: "
@@ -397,6 +411,11 @@ def bench_payload(
     }
     if microbench:
         host["hook_microbench"] = hook_overhead_microbench()
+    if backend not in (None, "sim"):
+        host["measured"] = _measured_section(
+            spec, quick, repeats, backend,
+            sim_igbp=[int(v) for v in igbp.accumulated()],
+        )
 
     return {
         "schema": BENCH_SCHEMA,
@@ -406,6 +425,50 @@ def bench_payload(
         "config_sha": config_sha(config_dict),
         "simulated": simulated,
         "host": host,
+    }
+
+
+def _measured_section(
+    spec: BenchSpec,
+    quick: bool,
+    repeats: int,
+    backend: str,
+    sim_igbp: list[int],
+) -> dict:
+    """Re-run the case on a measured backend; host-section numbers.
+
+    Wall elapsed varies run to run (median over ``repeats``); the
+    physics must not — ``igbp_matches_simulated`` records whether the
+    measured run reproduced the simulated run's accumulated per-rank
+    IGBP counts exactly.
+    """
+    from repro.backend import get_backend
+    from repro.core import OverflowD1
+
+    engine = get_backend(backend)
+    elapsed_all: list[float] = []
+    wall_all: list[float] = []
+    mrun = None
+    for _ in range(repeats):
+        cfg, _ = _build_config(spec, quick)
+        t0 = time.perf_counter()
+        mrun = OverflowD1(cfg, backend=engine).run()
+        wall_all.append(time.perf_counter() - t0)
+        elapsed_all.append(mrun.elapsed)
+    assert mrun is not None  # repeats >= 1 (validated by the caller)
+    measured_igbp = [int(v) for v in mrun.igbp_rollup().accumulated()]
+    return {
+        "backend": engine.name,
+        "repeats": repeats,
+        # Table-1/3/4-shape numbers, measured (last repeat's run):
+        "elapsed_s_median": statistics.median(elapsed_all),
+        "elapsed_s_all": elapsed_all,
+        "time_per_step_s": mrun.time_per_step,
+        "mflops_per_node": mrun.mflops_per_node,
+        "pct_dcf3d": mrun.pct_dcf3d,
+        "wall_s_all": wall_all,
+        # Physics cross-check against the canonical simulated pass:
+        "igbp_matches_simulated": measured_igbp == sim_igbp,
     }
 
 
@@ -424,9 +487,14 @@ def run_bench(
     quick: bool = False,
     repeats: int = 3,
     microbench: bool = True,
+    backend: str = "sim",
 ) -> tuple[dict, Path]:
     """Run one case and persist its payload; returns (payload, path)."""
     payload = bench_payload(
-        case, quick=quick, repeats=repeats, microbench=microbench
+        case,
+        quick=quick,
+        repeats=repeats,
+        microbench=microbench,
+        backend=backend,
     )
     return payload, write_bench(payload, out_dir)

@@ -194,7 +194,9 @@ class CriticalPathReport:
         return "\n".join(lines)
 
 
-def _step_segments(tracer: Any, phase_order: tuple[str, ...]):
+def _step_segments(
+    tracer: Any, phase_order: tuple[str, ...]
+) -> dict[int, list[tuple[float, int, str]]]:
     """Per-rank step boundaries from the phase-mark stream.
 
     Returns ``{rank: [(t, step, phase), ...]}`` in time order, where

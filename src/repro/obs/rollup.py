@@ -22,6 +22,7 @@ Two aggregates cover everything the evaluation consumes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -72,7 +73,7 @@ class PhaseRollup:
     # -- construction ---------------------------------------------------
 
     @classmethod
-    def from_metrics(cls, metrics) -> "PhaseRollup":
+    def from_metrics(cls, metrics: Any) -> "PhaseRollup":
         """Build from :class:`repro.machine.metrics.MachineMetrics`.
 
         Always available (the scheduler keeps these counters whether or
@@ -91,7 +92,9 @@ class PhaseRollup:
         return roll
 
     @classmethod
-    def from_tracer(cls, tracer, nranks: int | None = None) -> "PhaseRollup":
+    def from_tracer(
+        cls, tracer: Any, nranks: int | None = None
+    ) -> "PhaseRollup":
         """Build from a :class:`repro.obs.tracer.SpanTracer`'s op spans."""
         n = tracer.nranks if nranks is None else nranks
         roll = cls(max(1, n))
@@ -254,7 +257,7 @@ class IgbpRollup:
 
     # -- recording ------------------------------------------------------
 
-    def record(self, counts) -> None:
+    def record(self, counts: Any) -> None:
         arr = np.asarray(counts, dtype=np.int64).ravel()
         if arr.size == 0:
             raise ValueError("empty I(p) sample")

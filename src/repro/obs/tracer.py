@@ -55,6 +55,13 @@ class Tracer:
 
     enabled: bool = False
 
+    #: Time base of recorded events.  ``"virtual"`` (the default) means
+    #: modeled seconds from the discrete-event scheduler; execution
+    #: backends that record measured host time (``repro.backend.mp``)
+    #: set this to ``"wall"`` so downstream analytics and baselines can
+    #: refuse to compare traces across clock domains.
+    clock: str = "virtual"
+
     # -- recording (called from the scheduler hot path) ----------------
 
     def op(
@@ -130,20 +137,33 @@ class SpanTracer(Tracer):
 
     # -- recording ------------------------------------------------------
 
-    def op(self, rank, phase, kind, t0, t1, flops=0.0, nbytes=0) -> None:
+    def op(
+        self,
+        rank: int,
+        phase: str,
+        kind: str,
+        t0: float,
+        t1: float,
+        flops: float = 0.0,
+        nbytes: int = 0,
+    ) -> None:
         off = self._offset
         self.ops.append((rank, phase, kind, t0 + off, t1 + off, flops, nbytes))
 
-    def phase(self, rank, t, name) -> None:
+    def phase(self, rank: int, t: float, name: str) -> None:
         self.phase_marks.append((rank, t + self._offset, name))
 
-    def mark(self, t, name, **args) -> None:
+    def mark(self, t: float, name: str, **args: Any) -> None:
         self.marks.append((t + self._offset, name, dict(args)))
 
-    def send(self, t, src, dst, tag, nbytes, phase) -> None:
+    def send(
+        self, t: float, src: int, dst: int, tag: int, nbytes: int, phase: str
+    ) -> None:
         self.sends.append((t + self._offset, src, dst, tag, nbytes, phase))
 
-    def recv(self, t, rank, src, tag, nbytes, phase) -> None:
+    def recv(
+        self, t: float, rank: int, src: int, tag: int, nbytes: int, phase: str
+    ) -> None:
         self.recvs.append((t + self._offset, rank, src, tag, nbytes, phase))
 
     # -- epoch plumbing -------------------------------------------------

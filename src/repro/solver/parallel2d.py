@@ -29,9 +29,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ExecutionBackend, get_backend
 from repro.grids.gridmetrics import metrics2d
 from repro.grids.structured import CurvilinearGrid
-from repro.machine.scheduler import Simulator
 from repro.machine.spec import MachineSpec
 from repro.solver import boundary as bc
 from repro.solver.flux import inviscid_residual, spectral_radii
@@ -85,7 +85,11 @@ class ParallelSolver2D:
     """One component grid advanced by ``machine.nodes`` ranks."""
 
     def __init__(
-        self, grid: CurvilinearGrid, config: FlowConfig, machine: MachineSpec
+        self,
+        grid: CurvilinearGrid,
+        config: FlowConfig,
+        machine: MachineSpec,
+        backend: str | ExecutionBackend = "sim",
     ):
         if grid.ndim != 2:
             raise ValueError("ParallelSolver2D needs a 2-D grid")
@@ -94,6 +98,11 @@ class ParallelSolver2D:
         self.grid = grid
         self.config = config
         self.machine = machine
+        self.backend = (
+            backend
+            if isinstance(backend, ExecutionBackend)
+            else get_backend(backend)
+        )
         self.px, self.py = rank_lattice(grid.dims, machine.nodes)
         self.ix = _splits(grid.dims[0], self.px)
         self.jy = _splits(grid.dims[1], self.py)
@@ -110,7 +119,12 @@ class ParallelSolver2D:
     # ------------------------------------------------------------------
 
     def run(self, nsteps: int, dt: float):
-        """Advance ``nsteps`` of size ``dt``; returns (q_global, sim)."""
+        """Advance ``nsteps`` of size ``dt``; returns (q_global, result).
+
+        ``result`` is a :class:`repro.backend.BackendResult`; under the
+        default ``sim`` backend its ``elapsed`` is modeled virtual time,
+        under ``mp`` it is measured wall time (physics identical).
+        """
         grid, cfg = self.grid, self.config
         qinf = cfg.freestream()
         mu_lam = (
@@ -285,9 +299,7 @@ class ParallelSolver2D:
                 sanity_check(q[own], g, where=f"rank {rank}")
             return np.ascontiguousarray(q[own])
 
-        sim = Simulator(self.machine)
-        sim.spawn_all(program)
-        out = sim.run()
+        out = self.backend.run_spmd(self.machine, program)
         q_global = np.empty(grid.dims + (4,), dtype=float)
         for rank, block in enumerate(out.returns):
             (i0, i1), (j0, j1) = self._owned(rank)

@@ -189,8 +189,10 @@ class TestCollectiveMismatch:
         ]
         assert len(hits) == 1
         assert hits[0].detail["index"] == 1
-        assert hits[0].detail["ref_op"] == ["bcast", 0]
-        assert hits[0].detail["got_op"] == ["bcast", 1]
+        # Sequence entries are (name, root, payload_signature)
+        # triples; root-only divergence leaves the signature slot None.
+        assert hits[0].detail["ref_op"] == ["bcast", 0, None]
+        assert hits[0].detail["got_op"] == ["bcast", 1, None]
 
     def test_missing_participant_unit(self):
         san = Sanitizer()
