@@ -18,6 +18,9 @@ Usage (installed as ``python -m repro``):
     python -m repro bench airfoil --quick --backend mp
     python -m repro trace-diff benchmarks/baselines/BENCH_x38.json \
         benchmarks/results/BENCH_x38.json
+    python -m repro serve --workers 4 --cache-dir /var/tmp/repro-cache
+    python -m repro submit airfoil --nodes 8 --scale 0.1 --steps 5
+    python -m repro jobs --stats
 
 ``run``/``trace``/``bench`` accept ``--backend {sim,mp}``: ``sim`` is
 the deterministic discrete-event simulator (modeled virtual time, the
@@ -51,6 +54,13 @@ sanitizer, is analyzed for critical path, comm matrix and f(p)=I(p)/Ibar
 imbalance, and lands as schema-versioned canonical ``BENCH_<case>.json``;
 ``trace-diff`` classifies per-metric deltas between two such payloads
 and exits non-zero on regressions beyond tolerance — the CI perf gate.
+
+``serve`` starts the simulation-as-a-service daemon
+(:mod:`repro.serve`): a pool of warm worker processes executes queued
+jobs over a unix socket, with ``config_sha``-keyed result caching so
+identical deterministic submissions are answered byte-identically for
+free; ``submit`` and ``jobs`` are the matching clients.  See
+docs/serving.md.
 """
 
 from __future__ import annotations
@@ -203,7 +213,7 @@ def cmd_run(args) -> int:
 
 def cmd_resume(args) -> int:
     from repro.core.overflow_d1 import resume_run
-    from repro.resilience import Checkpoint, CheckpointStore
+    from repro.resilience import Checkpoint, CheckpointError, CheckpointStore
 
     path = Path(args.checkpoint)
     if path.is_dir():
@@ -212,7 +222,10 @@ def cmd_resume(args) -> int:
         if ckpt is None:
             raise SystemExit(f"no checkpoints in {path}")
     else:
-        ckpt = Checkpoint.load(path)
+        try:
+            ckpt = Checkpoint.load(path)
+        except CheckpointError as exc:
+            raise SystemExit(str(exc))
     meta = ckpt.meta
     print(
         f"resuming {meta.get('case')} on {meta.get('machine')} from "
@@ -383,6 +396,13 @@ def cmd_bench(args) -> int:
                 f"{mb['batched_ns_per_send']:.0f} ns "
                 f"({mb['hook_speedup']:.1f}x)"
             )
+        sv = payload["host"].get("serve_microbench")
+        if sv and "jobs_per_sec" in sv:
+            print(
+                f"  warm-pool throughput: {sv['jobs_per_sec']:.2f} jobs/s "
+                f"({sv['jobs']} x {sv['case']} over {sv['workers']} "
+                f"workers, {sv['wall_s']:.2f} s wall)"
+            )
         meas = payload["host"].get("measured")
         if meas:
             match = "physics match" if meas["igbp_matches_simulated"] \
@@ -447,6 +467,173 @@ def cmd_lint(args) -> int:
         raise SystemExit(str(exc))
     print(report.to_json() if args.json else report.format())
     return 0 if report.ok else 1
+
+
+def _default_socket() -> str:
+    import os
+
+    # Short and stable: unix socket paths cap out around 107 bytes.
+    return f"/tmp/repro-serve-{os.getuid()}.sock"
+
+
+def cmd_serve(args) -> int:
+    import signal
+
+    from repro.serve import ReproServer
+    from repro.serve.pool import pool_available
+
+    reason = pool_available()
+    if reason is not None:
+        raise SystemExit(f"repro serve unavailable: {reason}")
+    server = ReproServer(
+        args.socket,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+    )
+
+    import threading
+
+    drainers: list = []
+
+    def _drain(signum, frame):
+        print("draining ...", file=sys.stderr)
+        t = threading.Thread(target=server.shutdown, daemon=False)
+        t.start()
+        drainers.append(t)
+
+    try:
+        server.start()
+    except OSError as exc:
+        raise SystemExit(str(exc))
+    # Installed only after start(): the warm workers fork inside
+    # start(), and they must not inherit the daemon's drain handler
+    # (a process-group SIGTERM/SIGINT would run shutdown in every
+    # child against its forked copy of the server).
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    print(
+        f"repro serve: {args.workers} warm worker(s) on {args.socket} "
+        f"(cache: {args.cache_dir or 'memory-only'}); "
+        f"SIGTERM/Ctrl-C drains and exits",
+        file=sys.stderr,
+    )
+    assert server._accept_thread is not None
+    while server._accept_thread.is_alive():
+        server._accept_thread.join(timeout=0.5)
+    for t in drainers:
+        t.join()
+    print("repro serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _submit_spec(args):
+    from repro.serve import JobSpec, JobSpecError
+
+    try:
+        return JobSpec(
+            case=_case_name(args),
+            machine=args.machine,
+            nodes=args.nodes,
+            scale=args.scale,
+            nsteps=args.steps,
+            f0=args.f0,
+            backend=getattr(args, "backend", "sim"),
+        )
+    except JobSpecError as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.serve import JobFailedError, ServeClient, ServeConnectError
+
+    spec = _submit_spec(args)
+    try:
+        spec.check_runnable()
+    except Exception as exc:
+        raise SystemExit(str(exc))
+    try:
+        client = ServeClient(args.socket)
+    except ServeConnectError as exc:
+        raise SystemExit(str(exc))
+    with client:
+        try:
+            if args.no_wait:
+                rec = client.submit(spec, cache=not args.no_cache)
+            else:
+                rec = client.run(
+                    spec, cache=not args.no_cache, timeout=args.timeout
+                )
+        except JobFailedError as exc:
+            print(f"job failed: {exc}", file=sys.stderr)
+            if exc.detail:
+                print(
+                    _json.dumps(exc.detail, indent=2, sort_keys=True),
+                    file=sys.stderr,
+                )
+            return 1
+    if args.json:
+        print(_json.dumps(rec, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"job {rec['id']} [{rec['sha'][:12]}] {rec['case']} "
+        f"({rec['backend']}): {rec['state']}"
+        + (" (cache hit)" if rec.get("cached") else "")
+        + (f" after {rec['attempts']} attempt(s)"
+           if rec.get("attempts", 0) > 1 else "")
+    )
+    payload = rec.get("payload")
+    if payload:
+        blob = _json.loads(payload)
+        result = blob["result"]
+        unit = "simulated s" if blob.get("deterministic") else "measured wall s"
+        print(
+            f"  {result['elapsed_s']:.4f} {unit} over "
+            f"{result['nsteps']} steps on {result['nranks']} ranks; "
+            f"Mflops/node {result['mflops_per_node']:.1f}, "
+            f"%DCF3D {result['pct_dcf3d']:.1f}%"
+        )
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    import json as _json
+
+    from repro.serve import ServeClient, ServeConnectError
+
+    try:
+        client = ServeClient(args.socket)
+    except ServeConnectError as exc:
+        raise SystemExit(str(exc))
+    with client:
+        if args.stats:
+            stats = client.stats()
+            print(_json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        jobs = client.jobs()
+    if args.json:
+        print(_json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        flags = []
+        if job.get("cached"):
+            flags.append("cache-hit")
+        if job.get("attempts", 0) > 1:
+            flags.append(f"{job['attempts']} attempts")
+        if job.get("error"):
+            flags.append(job["error"]["kind"])
+        suffix = f" ({', '.join(flags)})" if flags else ""
+        print(
+            f"{job['id']:>4}  {job['sha'][:12]}  {job['case']:<10} "
+            f"{job['backend']:<4} {job['state']}{suffix}"
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -634,6 +821,75 @@ def build_parser() -> argparse.ArgumentParser:
         "iterables in sorted(...)), then lint the result",
     )
     lint.set_defaults(fn=cmd_lint)
+
+    def socket_opt(sp):
+        sp.add_argument(
+            "--socket", default=_default_socket(), metavar="PATH",
+            help="unix socket of the job server "
+            "(default: /tmp/repro-serve-<uid>.sock)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived job server: warm worker pool + result cache "
+        "over a unix socket",
+    )
+    socket_opt(serve)
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="warm worker processes (default 2)",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist cached results to DIR (default: memory only)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=300.0, metavar="S",
+        help="per-job wall-clock budget in seconds (default 300)",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries after a worker crash (default 2)",
+    )
+    serve.set_defaults(fn=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running 'repro serve' daemon"
+    )
+    common(submit)
+    submit.add_argument("--nodes", type=int, default=4)
+    backend_opt(submit)
+    socket_opt(submit)
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="enqueue and return immediately (poll with 'repro jobs')",
+    )
+    submit.add_argument(
+        "--no-cache", action="store_true",
+        help="force a fresh execution even when the result is cached",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="seconds to wait for the result (default 300)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="print the full result frame as JSON",
+    )
+    submit.set_defaults(fn=cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list the daemon's jobs (or --stats for counters)"
+    )
+    socket_opt(jobs)
+    jobs.add_argument(
+        "--stats", action="store_true",
+        help="print cache/queue/worker counters instead of the job list",
+    )
+    jobs.add_argument(
+        "--json", action="store_true", help="print the job list as JSON"
+    )
+    jobs.set_defaults(fn=cmd_jobs)
 
     phys = sub.add_parser("physics", help="real coupled 2-D solve")
     phys.add_argument("--scale", type=float, default=0.05)

@@ -411,6 +411,14 @@ def bench_payload(
     }
     if microbench:
         host["hook_microbench"] = hook_overhead_microbench()
+        # End-to-end job throughput against a warm `repro serve` pool —
+        # host data (wall clock), so the trace-diff gate ignores it.
+        from repro.serve.pool import throughput_microbench
+
+        serve = throughput_microbench()
+        host["serve_microbench"] = serve
+        if "jobs_per_sec" in serve:
+            host["jobs_per_sec"] = serve["jobs_per_sec"]
     if backend not in (None, "sim"):
         host["measured"] = _measured_section(
             spec, quick, repeats, backend,

@@ -1,0 +1,66 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon and its client.
+
+The package splits along the wire:
+
+* :mod:`repro.serve.jobs` — job identity (``JobSpec`` → ``config_sha``)
+  and the single execution path that guarantees byte-identical
+  deterministic payloads;
+* :mod:`repro.serve.protocol` — line-delimited JSON framing;
+* :mod:`repro.serve.cache` — content-addressed LRU result store;
+* :mod:`repro.serve.pool` — warm worker processes with crash-retry;
+* :mod:`repro.serve.server` — the daemon (accept/dispatch/drain);
+* :mod:`repro.serve.client` — the synchronous ``ServeClient``.
+
+See ``docs/serving.md`` for the protocol catalogue and semantics.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import (
+    JobFailedError,
+    ServeClient,
+    ServeConnectError,
+    ServeError,
+    ServeProtocolError,
+)
+from repro.serve.jobs import (
+    SERVE_RESULT_SCHEMA,
+    JobSpec,
+    JobSpecError,
+    run_job,
+    run_job_bytes,
+)
+from repro.serve.pool import (
+    JobExecutionError,
+    JobTimeout,
+    PoolError,
+    WorkerCrash,
+    WorkerPool,
+    pool_available,
+    throughput_microbench,
+)
+from repro.serve.protocol import MAX_FRAME, PROTOCOL_VERSION
+from repro.serve.server import ReproServer
+
+__all__ = [
+    "SERVE_RESULT_SCHEMA",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME",
+    "JobSpec",
+    "JobSpecError",
+    "run_job",
+    "run_job_bytes",
+    "ResultCache",
+    "WorkerPool",
+    "PoolError",
+    "WorkerCrash",
+    "JobTimeout",
+    "JobExecutionError",
+    "pool_available",
+    "throughput_microbench",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "ServeConnectError",
+    "ServeProtocolError",
+    "JobFailedError",
+]

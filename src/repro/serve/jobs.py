@@ -1,0 +1,283 @@
+"""Job specifications and deterministic result payloads.
+
+A *job* is one complete OVERFLOW-D1 case execution described entirely
+by data: case name, machine preset, node count, scale, step count, f0
+and execution backend.  The description is canonical — its
+:func:`repro.obs.perf.bench.config_sha` is the job's identity, the key
+the result cache and the request-coalescing map use.  Two submissions
+with the same knobs are *the same job* no matter how their dicts were
+ordered or which client sent them.
+
+:func:`run_job` is the one execution path: the daemon's pool workers,
+the ``jobs/sec`` micro-benchmark and direct in-process callers all go
+through it, so a deterministic (``sim``-backend) job produces
+byte-identical canonical payloads whether it ran direct, through a cold
+server, or was answered from the cache (the cache stores the literal
+bytes).  Payloads carry only modeled quantities for ``sim`` jobs —
+no wall clocks, no timestamps — which is what makes the bytes stable.
+
+``inject`` is a transport-layer test knob (crash / sleep / synthetic
+failures) used by the resilience test battery; it participates in the
+sha like any other knob, so injected jobs can never alias clean ones.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.perf.bench import canonical_json, config_sha
+
+__all__ = [
+    "SERVE_RESULT_SCHEMA",
+    "JobSpec",
+    "JobSpecError",
+    "run_job",
+    "run_job_bytes",
+]
+
+#: Version tag of the result-payload layout.
+SERVE_RESULT_SCHEMA = "repro-serve-result/1"
+
+#: The knobs a job dict may carry (``inject`` only when set).
+_FIELDS = ("case", "machine", "nodes", "scale", "nsteps", "f0", "backend")
+
+#: Recognized ``inject`` values (prefix match for the parametric ones).
+_INJECT_PREFIXES = ("crash", "sleep:", "error:", "rankfail")
+
+
+class JobSpecError(ValueError):
+    """A job description is malformed (bad field, unknown case, ...)."""
+
+
+def _known_cases() -> dict:
+    from repro.cases import airfoil_case, deltawing_case, store_case, x38_case
+
+    return {
+        "airfoil": airfoil_case,
+        "deltawing": deltawing_case,
+        "store": store_case,
+        "x38": x38_case,
+    }
+
+
+def _parse_float(value: Any, name: str) -> float:
+    """Accept numbers plus the canonical-JSON spellings of non-finite
+    floats (``"inf"`` / ``"-inf"`` / ``"nan"``) so a spec survives the
+    wire round trip sha-intact."""
+    if isinstance(value, bool):
+        raise JobSpecError(f"{name} must be a number, got {value!r}")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str) and value in ("inf", "-inf", "nan"):
+        return float(value)
+    raise JobSpecError(f"{name} must be a number, got {value!r}")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation job, fully described by data.
+
+    ``inject`` (optional, test-only) perturbs *execution*, never the
+    payload: ``"crash"`` / ``"crash:once"`` hard-kill the pool worker
+    (always / on the first attempt only), ``"sleep:S"`` delays the run
+    by S host seconds, ``"error:MSG"`` raises ``RuntimeError(MSG)``
+    and ``"rankfail"`` raises a synthetic
+    :class:`repro.machine.faults.RankFailure` — exercising the typed
+    failure-propagation path end to end.
+    """
+
+    case: str
+    machine: str = "sp2"
+    nodes: int = 4
+    scale: float = 0.1
+    nsteps: int = 2
+    f0: float = math.inf
+    backend: str = "sim"
+    inject: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise JobSpecError(f"nodes must be >= 1, got {self.nodes}")
+        if self.nsteps < 1:
+            raise JobSpecError(f"nsteps must be >= 1, got {self.nsteps}")
+        if not (self.scale > 0):
+            raise JobSpecError(f"scale must be > 0, got {self.scale}")
+        if self.inject is not None and not str(self.inject).startswith(
+            _INJECT_PREFIXES
+        ):
+            raise JobSpecError(f"unknown inject spec {self.inject!r}")
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether this job's payload bytes are reproducible (and hence
+        cacheable): true for the ``sim`` backend, false for measured
+        engines like ``mp``."""
+        return self.backend == "sim"
+
+    def config(self) -> dict[str, Any]:
+        """The canonical knob dict — what :meth:`sha` hashes."""
+        out: dict[str, Any] = {
+            "case": self.case,
+            "machine": self.machine,
+            "nodes": int(self.nodes),
+            "scale": float(self.scale),
+            "nsteps": int(self.nsteps),
+            "f0": float(self.f0),
+            "backend": self.backend,
+        }
+        if self.inject is not None:
+            out["inject"] = self.inject
+        return out
+
+    def sha(self) -> str:
+        """Content identity: sha256 of the canonical config dict."""
+        return config_sha(self.config())
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-safe form (non-finite floats as canonical strings)."""
+        out = self.config()
+        if not math.isfinite(out["f0"]):
+            out["f0"] = repr(out["f0"])
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Any, *, check_runnable: bool = True) -> "JobSpec":
+        """Build a validated spec from an untrusted wire dict.
+
+        Unknown keys are rejected (a typo must not silently mint a new
+        job identity); with ``check_runnable`` the case and machine
+        names are checked against the registries so a bad submission
+        fails at the protocol boundary, not inside a pool worker.
+        """
+        if not isinstance(data, dict):
+            raise JobSpecError(f"job must be an object, got {type(data).__name__}")
+        unknown = set(data) - set(_FIELDS) - {"inject"}
+        if unknown:
+            raise JobSpecError(f"unknown job field(s): {sorted(unknown)}")
+        if "case" not in data or not isinstance(data["case"], str):
+            raise JobSpecError("job needs a string 'case' field")
+        machine = data.get("machine", "sp2")
+        backend = data.get("backend", "sim")
+        inject = data.get("inject")
+        if not isinstance(machine, str) or not isinstance(backend, str):
+            raise JobSpecError("'machine' and 'backend' must be strings")
+        if inject is not None and not isinstance(inject, str):
+            raise JobSpecError(f"'inject' must be a string, got {inject!r}")
+        nodes = data.get("nodes", 4)
+        nsteps = data.get("nsteps", 2)
+        if isinstance(nodes, bool) or not isinstance(nodes, int):
+            raise JobSpecError(f"nodes must be an integer, got {nodes!r}")
+        if isinstance(nsteps, bool) or not isinstance(nsteps, int):
+            raise JobSpecError(f"nsteps must be an integer, got {nsteps!r}")
+        spec = cls(
+            case=data["case"],
+            machine=machine,
+            nodes=nodes,
+            scale=_parse_float(data.get("scale", 0.1), "scale"),
+            nsteps=nsteps,
+            f0=_parse_float(data.get("f0", math.inf), "f0"),
+            backend=backend,
+            inject=inject,
+        )
+        if check_runnable:
+            spec.check_runnable()
+        return spec
+
+    def check_runnable(self) -> None:
+        """Raise :class:`JobSpecError` for names no worker could run."""
+        from repro.backend import backend_help
+        from repro.machine import MACHINE_PRESETS
+
+        if self.case not in _known_cases():
+            raise JobSpecError(
+                f"unknown case {self.case!r}; choose from "
+                f"{sorted(_known_cases())}"
+            )
+        if self.machine not in MACHINE_PRESETS:
+            raise JobSpecError(
+                f"unknown machine {self.machine!r}; choose from "
+                f"{sorted(MACHINE_PRESETS)}"
+            )
+        if self.backend not in backend_help():
+            raise JobSpecError(
+                f"unknown backend {self.backend!r}; choose from "
+                f"{sorted(backend_help())}"
+            )
+
+
+def _apply_inject(spec: JobSpec) -> None:
+    """Interpret the run-side ``inject`` knobs (crash is worker-side)."""
+    inject = spec.inject
+    if not inject:
+        return
+    if inject.startswith("sleep:"):
+        time.sleep(float(inject.split(":", 1)[1]))
+    elif inject.startswith("error:"):
+        raise RuntimeError(inject.split(":", 1)[1])
+    elif inject == "rankfail":
+        from repro.machine.faults import RankFailure
+
+        raise RankFailure(
+            failed={1: 0.0}, time=0.0, blocked=[], completed=[],
+            nranks=spec.nodes,
+        )
+    # "crash"/"crash:once" are handled by the pool worker before the
+    # run starts; a direct run_job treats them as a no-op so the direct
+    # payload stays comparable to the served one.
+
+
+def run_job(spec: JobSpec) -> dict:
+    """Execute one job; returns the full result payload dict.
+
+    The payload's ``result`` section contains only modeled quantities
+    for ``sim`` jobs, so it is deterministic; ``deterministic: false``
+    marks measured (``mp``) payloads as host data.
+    """
+    from repro.backend import get_backend
+    from repro.core import OverflowD1
+    from repro.machine import MACHINE_PRESETS
+
+    spec.check_runnable()
+    _apply_inject(spec)
+    preset = MACHINE_PRESETS[spec.machine]
+    machine = preset() if spec.machine == "ymp" else preset(nodes=spec.nodes)
+    cfg = _known_cases()[spec.case](
+        machine=machine, scale=spec.scale, nsteps=spec.nsteps, f0=spec.f0
+    )
+    run = OverflowD1(cfg, backend=get_backend(spec.backend)).run()
+    rollup = run.rollup()
+    igbp = run.igbp_rollup()
+    result = {
+        "elapsed_s": run.elapsed,
+        "time_per_step_s": run.time_per_step,
+        "mflops_per_node": run.mflops_per_node,
+        "pct_dcf3d": run.pct_dcf3d,
+        "nsteps": run.nsteps,
+        "nranks": run.nprocs,
+        "total_gridpoints": cfg.total_gridpoints,
+        "ngrids": len(cfg.grids),
+        "phases": rollup.breakdown(),
+        "imbalance": {
+            "I": [int(v) for v in igbp.accumulated()],
+            "ibar": igbp.ibar(),
+            "f_max": float(igbp.f().max()) if igbp.nranks else 0.0,
+        },
+        "partition_history": [
+            [step, list(procs)] for step, procs in run.partition_history
+        ],
+    }
+    return {
+        "schema": SERVE_RESULT_SCHEMA,
+        "job": spec.config(),
+        "job_sha": spec.sha(),
+        "deterministic": spec.deterministic,
+        "result": result,
+    }
+
+
+def run_job_bytes(spec: JobSpec) -> bytes:
+    """Canonical payload bytes — the unit of caching and byte identity."""
+    return canonical_json(run_job(spec)).encode()

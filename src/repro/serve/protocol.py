@@ -1,0 +1,120 @@
+"""Line-delimited JSON protocol spoken over the daemon's unix socket.
+
+One frame = one JSON object on one ``\\n``-terminated UTF-8 line, at
+most :data:`MAX_FRAME` bytes including the terminator.  Requests carry
+an ``op`` field; responses carry ``ok`` (and, on failure, an ``error``
+object ``{"kind", "message", "detail"}``).  The framing is deliberately
+dumb: any malformed line — broken UTF-8, invalid JSON, a non-object, a
+missing ``op`` — is answered with a ``ProtocolError`` response and the
+connection stays open, so a confused (or fuzzing) client can never
+wedge the daemon.  Only two events close a connection from the server
+side: EOF from the peer and an oversized frame (the one case where
+resynchronising on line boundaries is impossible).
+
+Result payloads ride *inside* a response frame as a JSON string field
+(``payload``) holding the canonical payload text verbatim — JSON string
+escaping is transparent, so the client recovers the exact cached bytes
+and byte identity survives the wire.
+
+See ``docs/serving.md`` for the full request/response catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME",
+    "ProtocolError",
+    "FrameTooLarge",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "ok_response",
+    "error_response",
+]
+
+#: Protocol version; servers reply with it to ``ping`` and refuse
+#: nothing by version today (there is only one).
+PROTOCOL_VERSION = "repro-serve/1"
+
+#: Hard cap on one frame, terminator included.  Result payloads are a
+#: few KiB; a megabyte of headroom means the cap only ever trips on
+#: garbage or abuse.
+MAX_FRAME = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire contract (recoverable per-frame)."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame exceeded :data:`MAX_FRAME` (connection must close)."""
+
+
+def encode_frame(obj: dict[str, Any]) -> bytes:
+    """Serialise one frame; raises :class:`ProtocolError` when ``obj``
+    cannot be represented (non-finite floats, exotic types) or exceeds
+    the frame cap."""
+    try:
+        text = json.dumps(obj, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unencodable frame: {exc}") from exc
+    data = text.encode() + b"\n"
+    if len(data) > MAX_FRAME:
+        raise FrameTooLarge(
+            f"frame of {len(data)} bytes exceeds the {MAX_FRAME}-byte cap"
+        )
+    return data
+
+
+def decode_frame(line: bytes) -> dict[str, Any]:
+    """Parse one received line into a frame dict."""
+    try:
+        obj = json.loads(line.decode())
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"frame is not UTF-8: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def read_frame(rfile: BinaryIO) -> dict[str, Any] | None:
+    """Read one frame from a buffered binary stream.
+
+    Returns ``None`` on clean EOF.  Raises :class:`FrameTooLarge` when
+    the line blows the cap (the caller must close the connection — the
+    stream can no longer be resynchronised) and :class:`ProtocolError`
+    for per-line garbage (the caller may answer and keep reading).
+    """
+    line = rfile.readline(MAX_FRAME + 1)
+    if not line:
+        return None
+    if len(line) > MAX_FRAME:
+        raise FrameTooLarge(
+            f"incoming frame exceeds the {MAX_FRAME}-byte cap"
+        )
+    return decode_frame(line)
+
+
+def ok_response(**fields: Any) -> dict[str, Any]:
+    out: dict[str, Any] = {"ok": True}
+    out.update(fields)
+    return out
+
+
+def error_response(
+    kind: str, message: str, detail: dict | None = None, **fields: Any
+) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "ok": False,
+        "error": {"kind": kind, "message": message, "detail": detail or {}},
+    }
+    out.update(fields)
+    return out

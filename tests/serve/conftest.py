@@ -1,0 +1,37 @@
+"""Shared fixtures for the serve battery.
+
+Unix socket paths are capped around 107 bytes, so sockets live under a
+short ``/tmp`` prefix rather than pytest's deep ``tmp_path``.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from repro.serve import JobSpec, ReproServer
+
+#: The smallest real case — ~40 ms per run — used throughout the battery.
+TINY = dict(case="airfoil", nodes=3, scale=0.05, nsteps=1)
+
+
+def tiny_spec(**overrides) -> JobSpec:
+    kw = dict(TINY)
+    kw.update(overrides)
+    return JobSpec(**kw)
+
+
+@pytest.fixture
+def socket_path():
+    path = tempfile.mktemp(prefix="rsv-", suffix=".sock", dir="/tmp")
+    yield path
+    if os.path.exists(path):
+        os.unlink(path)
+
+
+@pytest.fixture
+def server(socket_path):
+    srv = ReproServer(socket_path, workers=2, job_timeout=60.0)
+    srv.start()
+    yield srv
+    srv.shutdown(drain_timeout=10.0)

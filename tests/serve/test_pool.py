@@ -1,0 +1,174 @@
+"""Warm worker pool: execution, crash recovery, timeouts, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    JobExecutionError,
+    JobTimeout,
+    PoolError,
+    WorkerCrash,
+    WorkerPool,
+    run_job_bytes,
+)
+from repro.serve.pool import pool_available, throughput_microbench
+
+from tests.serve.conftest import tiny_spec
+
+pytestmark = pytest.mark.skipif(
+    pool_available() is not None, reason=pool_available() or ""
+)
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(workers=2, job_timeout=60.0, retry_backoff=0.01)
+    p.start()
+    yield p
+    p.close()
+
+
+class TestExecute:
+    def test_payload_matches_direct_run(self, pool):
+        payload, attempts = pool.execute(tiny_spec())
+        assert attempts == 1
+        assert payload == run_job_bytes(tiny_spec())
+
+    def test_concurrent_callers_multiplex(self, pool):
+        results = {}
+
+        def call(i):
+            results[i] = pool.execute(tiny_spec())[0]
+
+        threads = [
+            threading.Thread(target=call, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = run_job_bytes(tiny_spec())
+        assert len(results) == 6
+        assert all(v == expected for v in results.values())
+
+    def test_requires_start(self):
+        p = WorkerPool(workers=1)
+        with pytest.raises(PoolError, match="not running"):
+            p.execute(tiny_spec())
+        p.close()
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(max_retries=-1)
+
+
+class TestCrashRecovery:
+    def test_crash_once_is_retried_transparently(self, pool):
+        payload, attempts = pool.execute(tiny_spec(inject="crash:once"))
+        assert attempts == 2
+        assert pool.crashes == 1
+        # Payload equals the clean job's *content* apart from the inject
+        # knob recorded in the job section.
+        import json
+
+        clean = json.loads(run_job_bytes(tiny_spec()))
+        crashed = json.loads(payload)
+        assert crashed["result"] == clean["result"]
+
+    def test_persistent_crash_exhausts_retries(self):
+        p = WorkerPool(workers=1, max_retries=1, retry_backoff=0.01)
+        p.start()
+        try:
+            with pytest.raises(WorkerCrash) as exc_info:
+                p.execute(tiny_spec(inject="crash"))
+            assert exc_info.value.attempts == 2
+            assert p.crashes == 2
+        finally:
+            p.close()
+
+    def test_pool_survives_crash_and_serves_next_job(self, pool):
+        with pytest.raises(WorkerCrash):
+            pool.execute(tiny_spec(inject="crash"))
+        payload, _ = pool.execute(tiny_spec())
+        assert payload == run_job_bytes(tiny_spec())
+
+    def test_zero_retries_fails_first_crash(self):
+        p = WorkerPool(workers=1, max_retries=0)
+        p.start()
+        try:
+            with pytest.raises(WorkerCrash) as exc_info:
+                p.execute(tiny_spec(inject="crash:once"))
+            assert exc_info.value.attempts == 1
+        finally:
+            p.close()
+
+
+class TestTimeout:
+    def test_slow_job_times_out_and_pool_recovers(self):
+        p = WorkerPool(workers=1, job_timeout=0.5)
+        p.start()
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(JobTimeout, match="per-job timeout"):
+                p.execute(tiny_spec(inject="sleep:30"))
+            assert time.monotonic() - t0 < 10.0  # killed, not waited out
+            # The killed worker was replaced; pool still serves.
+            payload, _ = p.execute(tiny_spec(), timeout=60.0)
+            assert payload == run_job_bytes(tiny_spec())
+        finally:
+            p.close()
+
+    def test_per_call_timeout_overrides_default(self, pool):
+        with pytest.raises(JobTimeout):
+            pool.execute(tiny_spec(inject="sleep:30"), timeout=0.5)
+
+
+class TestJobErrors:
+    def test_program_error_is_typed_and_not_retried(self, pool):
+        with pytest.raises(JobExecutionError) as exc_info:
+            pool.execute(tiny_spec(inject="error:kaboom"))
+        assert exc_info.value.kind == "RuntimeError"
+        assert exc_info.value.message == "kaboom"
+        assert pool.crashes == 0  # a raising job is not a crash
+
+    def test_rankfailure_detail_travels(self, pool):
+        with pytest.raises(JobExecutionError) as exc_info:
+            pool.execute(tiny_spec(inject="rankfail"))
+        err = exc_info.value
+        assert err.kind == "RankFailure"
+        assert err.detail["failed"] == {"1": 0.0}
+        assert err.detail["nranks"] == 3
+
+    def test_bad_spec_error_travels(self, pool):
+        # Bypass client-side validation to prove the worker-side check.
+        from repro.serve.jobs import JobSpec
+
+        bad = JobSpec("nosuchcase")
+        with pytest.raises(JobExecutionError) as exc_info:
+            pool.execute(bad)
+        assert exc_info.value.kind == "JobSpecError"
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_execute_after_close_fails(self, pool):
+        pool.close()
+        pool.close()
+        with pytest.raises(PoolError):
+            pool.execute(tiny_spec())
+
+    def test_context_manager(self):
+        with WorkerPool(workers=1, job_timeout=60.0) as p:
+            payload, _ = p.execute(tiny_spec())
+        assert payload
+
+
+class TestThroughputMicrobench:
+    def test_reports_positive_throughput(self):
+        out = throughput_microbench(jobs=2, workers=2, spec=tiny_spec())
+        assert out["jobs"] == 2
+        assert out["jobs_per_sec"] > 0
+        assert out["errors"] == []
