@@ -13,14 +13,19 @@ those primitives execute.  This package provides the engine interface
     Real ``multiprocessing`` processes with pickle-over-pipe transport
     and shared-memory bulk payloads — measured host wall-clock time,
     identical physics.  See :mod:`repro.backend.mp`.
+``cluster``
+    Multi-host execution over per-host ``repro node`` daemons speaking
+    length-framed TCP, with elastic failure recovery — measured wall
+    time, identical physics, survives node loss.  See
+    :mod:`repro.cluster`.
 
 Select by name::
 
     from repro.backend import get_backend
     out = get_backend("mp").run_spmd(machine, program, nranks=4)
 
-The mp module is imported lazily so hosts that cannot run it (no
-``fork``) still import this package and use ``sim``.
+The mp and cluster modules are imported lazily so hosts that cannot
+run them (no ``fork``) still import this package and use ``sim``.
 """
 
 from __future__ import annotations
@@ -76,4 +81,24 @@ register_backend(
     _mp_factory,
     doc="real multiprocessing ranks: measured wall time, identical physics",
     available=_mp_available,
+)
+
+
+def _cluster_available() -> str | None:
+    from repro.cluster.backend import cluster_available
+
+    return cluster_available()
+
+
+def _cluster_factory(**options: Any) -> ExecutionBackend:
+    from repro.cluster.backend import ClusterBackend
+
+    return ClusterBackend(**options)
+
+
+register_backend(
+    "cluster",
+    _cluster_factory,
+    doc="multi-host node daemons over TCP: elastic, survives node loss",
+    available=_cluster_available,
 )

@@ -197,11 +197,18 @@ class ExecutionBackend(abc.ABC):
     ``measured``
         Whether results are host wall-clock measurements rather than
         modeled virtual time.
+    ``elastic``
+        ``True`` when the engine can lose execution resources mid-run
+        (a cluster node dying) and *keep running subsequent chunks on
+        the survivors*.  Drivers use this to arm checkpoint/recovery
+        machinery even without an explicit fault plan — see
+        ``OverflowD1``'s implicit step-0 snapshot.
     """
 
     name: str = "?"
     shared_state: bool = True
     measured: bool = False
+    elastic: bool = False
 
     @abc.abstractmethod
     def run(
@@ -238,6 +245,14 @@ class ExecutionBackend(abc.ABC):
         """Run the same program on every rank (SPMD convenience)."""
         n = machine.nodes if nranks is None else int(nranks)
         return self.run(machine, [program] * n, **kwargs)
+
+    def close(self) -> None:
+        """Release engine-held resources (daemon pools, sockets).
+
+        No-op for in-process engines; the cluster backend overrides it
+        to shut its node pool down.  Idempotent, and safe to call on a
+        backend that never ran anything.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"

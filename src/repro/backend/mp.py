@@ -195,11 +195,14 @@ class _Engine:
 
     # -- transport ------------------------------------------------------
 
-    def _encode(self, tag: int, payload: Any, nbytes: int) -> bytes:
+    def _encode(
+        self, tag: int, payload: Any, nbytes: int, shm_ok: bool = True
+    ) -> bytes:
         self._seq += 1
         seq = self._seq
         if (
-            isinstance(payload, np.ndarray)
+            shm_ok
+            and isinstance(payload, np.ndarray)
             and payload.nbytes >= self.shm_threshold
         ):
             arr = np.ascontiguousarray(payload)
@@ -214,7 +217,7 @@ class _Engine:
             shm.close()
         else:
             blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-            if len(blob) >= self.shm_threshold:
+            if shm_ok and len(blob) >= self.shm_threshold:
                 name = f"{self.runid}_{self.rank}_{seq}"
                 shm = shared_memory.SharedMemory(
                     create=True, size=len(blob), name=name
@@ -229,6 +232,23 @@ class _Engine:
             (self.rank, tag, seq, nbytes, body),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
+
+    def _shm_ok(self, dst: int) -> bool:
+        """Whether payloads to ``dst`` may stage through shared memory.
+
+        All destinations share the host here; the cluster engine
+        overrides this to gate the fast path to same-node peers.
+        """
+        return True
+
+    def _transmit(self, dst: int, frame: bytes) -> None:
+        """Deliver one encoded frame to a remote rank's inbox."""
+        # Opportunistically drain our own inbox first so a blocked
+        # peer writing to us is never part of a write cycle involving
+        # our own blocking write below.
+        self._pump(0.0)
+        with self.locks[dst]:
+            self.writers[dst].send_bytes(frame)
 
     def _deposit(self, frame: bytes) -> None:
         src, tag, seq, nbytes, (kind, data) = pickle.loads(frame)
@@ -347,18 +367,16 @@ class _Engine:
         if kind == "inject":
             _, dst, tag, payload, nbytes = op
             t0 = self.wall()
-            frame = self._encode(tag, payload, nbytes)
+            frame = self._encode(
+                tag, payload, nbytes,
+                shm_ok=dst == self.rank or self._shm_ok(dst),
+            )
             if dst == self.rank:
                 # Self-send: same value semantics as remote (the pickle
                 # round-trip isolates the payload), minus the pipe.
                 self._deposit(frame)
             else:
-                # Opportunistically drain our own inbox first so a
-                # blocked peer writing to us is never part of a write
-                # cycle involving our own blocking write below.
-                self._pump(0.0)
-                with self.locks[dst]:
-                    self.writers[dst].send_bytes(frame)
+                self._transmit(dst, frame)
             t1 = self.wall()
             self.metrics.time[self.phase]["comm"] += t1 - t0
             self.metrics.messages_sent += 1
@@ -462,10 +480,18 @@ def _worker_main(
     start_clock: float,
     metrics: RankMetrics,
     trace: bool,
+    engine_factory: Any = None,
 ) -> None:
-    """Entry point of one forked rank process."""
+    """Entry point of one forked rank process.
+
+    ``engine_factory`` (default :class:`_Engine`) lets other backends
+    reuse this whole lifecycle — result/error control frames, abort
+    handling, the linger-until-acknowledged exit — with an engine
+    subclass that routes off-host traffic differently (the cluster
+    node daemon passes one wired to its uplink).
+    """
     try:
-        engine = _Engine(
+        engine = (engine_factory or _Engine)(
             rank,
             nranks,
             reader,

@@ -125,8 +125,11 @@ def _backend(args):
     from repro.backend import BackendUnavailable, backend_help, get_backend
 
     name = getattr(args, "backend", "sim")
+    options = {}
+    if name == "cluster":
+        options["nnodes"] = getattr(args, "cluster_nodes", 2)
     try:
-        return get_backend(name)
+        return get_backend(name, **options)
     except (ValueError, BackendUnavailable) as exc:
         lines = "\n".join(
             f"  {n:<6} {doc}" for n, doc in backend_help().items()
@@ -201,12 +204,15 @@ def cmd_run(args) -> int:
     )
     san = _make_sanitizer(args)
     try:
-        driver = OverflowD1(
-            cfg, sanitizer=san, backend=engine, **_resilience_kwargs(args)
-        )
-    except ValueError as exc:
-        raise SystemExit(str(exc))
-    r = driver.run()
+        try:
+            driver = OverflowD1(
+                cfg, sanitizer=san, backend=engine, **_resilience_kwargs(args)
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        r = driver.run()
+    finally:
+        engine.close()
     _print_run(r, measured=engine.measured)
     return _finish_sanitizer(san)
 
@@ -276,16 +282,19 @@ def cmd_trace(args) -> int:
     tracer = SpanTracer()
     san = _make_sanitizer(args, tracer=tracer)
     try:
-        driver = OverflowD1(
-            cfg,
-            tracer=tracer,
-            sanitizer=san,
-            backend=engine,
-            **_resilience_kwargs(args),
-        )
-    except ValueError as exc:
-        raise SystemExit(str(exc))
-    run = driver.run()
+        try:
+            driver = OverflowD1(
+                cfg,
+                tracer=tracer,
+                sanitizer=san,
+                backend=engine,
+                **_resilience_kwargs(args),
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        run = driver.run()
+    finally:
+        engine.close()
 
     rollup = run.rollup()
     igbp = run.igbp_rollup()
@@ -359,6 +368,7 @@ def cmd_bench(args) -> int:
             f"{sorted(BENCH_CASES)} or 'all'"
         )
     engine = _backend(args)  # fail fast on unknown/unavailable names
+    engine.close()  # run_bench builds its own engine; this one was a probe
     exit_code = 0
     for i, case in enumerate(cases):
         print(f"bench {case} ({'quick' if args.quick else 'full'}, "
@@ -548,7 +558,12 @@ def _submit_spec(args):
 def cmd_submit(args) -> int:
     import json as _json
 
-    from repro.serve import JobFailedError, ServeClient, ServeConnectError
+    from repro.serve import (
+        JobFailedError,
+        ServeClient,
+        ServeConnectError,
+        SocketPathTooLong,
+    )
 
     spec = _submit_spec(args)
     try:
@@ -557,7 +572,7 @@ def cmd_submit(args) -> int:
         raise SystemExit(str(exc))
     try:
         client = ServeClient(args.socket)
-    except ServeConnectError as exc:
+    except (ServeConnectError, SocketPathTooLong) as exc:
         raise SystemExit(str(exc))
     with client:
         try:
@@ -602,11 +617,11 @@ def cmd_submit(args) -> int:
 def cmd_jobs(args) -> int:
     import json as _json
 
-    from repro.serve import ServeClient, ServeConnectError
+    from repro.serve import ServeClient, ServeConnectError, SocketPathTooLong
 
     try:
         client = ServeClient(args.socket)
-    except ServeConnectError as exc:
+    except (ServeConnectError, SocketPathTooLong) as exc:
         raise SystemExit(str(exc))
     with client:
         if args.stats:
@@ -634,6 +649,20 @@ def cmd_jobs(args) -> int:
             f"{job['backend']:<4} {job['state']}{suffix}"
         )
     return 0
+
+
+def cmd_node(args) -> int:
+    from repro.cluster.node import NodeDaemon
+    from repro.cluster.protocol import ClusterProtocolError, parse_hostport
+
+    try:
+        host, port = parse_hostport(args.connect)
+    except ClusterProtocolError as exc:
+        raise SystemExit(str(exc))
+    try:
+        return NodeDaemon(host, port, name=args.name).run()
+    except KeyboardInterrupt:
+        return 130
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -669,8 +698,14 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument(
             "--backend", default="sim", metavar="NAME",
             help="execution backend: 'sim' (modeled virtual time, "
-            "deterministic; default) or 'mp' (real multiprocessing "
-            "ranks, measured wall time, identical physics)",
+            "deterministic; default), 'mp' (real multiprocessing "
+            "ranks, measured wall time, identical physics), or "
+            "'cluster' (multi-host node daemons over TCP, elastic)",
+        )
+        sp.add_argument(
+            "--cluster-nodes", type=int, default=2, metavar="N",
+            help="node-daemon pool size for --backend cluster "
+            "(default 2, spawned on localhost)",
         )
 
     def sanitize(sp):
@@ -890,6 +925,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the job list as JSON"
     )
     jobs.set_defaults(fn=cmd_jobs)
+
+    node = sub.add_parser(
+        "node",
+        help="cluster node daemon: hosts rank workers for a head "
+        "running '--backend cluster'",
+    )
+    node.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="address of the cluster head to join",
+    )
+    node.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="daemon name in head-side logs (default: hostname)",
+    )
+    node.set_defaults(fn=cmd_node)
 
     phys = sub.add_parser("physics", help="real coupled 2-D solve")
     phys.add_argument("--scale", type=float, default=0.05)

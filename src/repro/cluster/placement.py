@@ -1,0 +1,72 @@
+"""Rank-to-node placement for cluster chunks.
+
+The head assigns global ranks to node daemons in contiguous blocks —
+the same blocking discipline :func:`repro.partition.static_lb` uses
+for grids over ranks — so ranks of one grid tend to land on one host
+and the intra-node shared-memory fast path carries the halo traffic.
+Node ids are the *handshake* ids the head assigned at connect time;
+after a node loss the surviving ids keep their numbers and the next
+chunk's placement simply spans fewer nodes (elastic shrink — ranks
+are renumbered by the driver's repartition, nodes never are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Immutable map of global rank -> hosting node id."""
+
+    node_of_rank: tuple[int, ...]
+
+    @classmethod
+    def contiguous(cls, nranks: int, node_ids: list[int] | tuple[int, ...]) -> "Placement":
+        """Balanced contiguous blocks over ``node_ids`` (in order).
+
+        With ``nranks = q*k + r`` over ``k`` nodes the first ``r``
+        nodes host ``q+1`` ranks each — identical to the partitioner's
+        remainder rule, so placements are deterministic functions of
+        the shape.  Fewer ranks than nodes leaves the tail nodes idle
+        for the chunk (they still heartbeat and stay in the pool).
+        """
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        ids = list(node_ids)
+        if not ids:
+            raise ValueError("no nodes to place ranks on")
+        k = min(len(ids), nranks)
+        base, rem = divmod(nranks, k)
+        out: list[int] = []
+        for j in range(k):
+            out.extend([ids[j]] * (base + (1 if j < rem else 0)))
+        return cls(node_of_rank=tuple(out))
+
+    @property
+    def nranks(self) -> int:
+        return len(self.node_of_rank)
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """Participating node ids, first-rank order, deduplicated."""
+        seen: list[int] = []
+        for nid in self.node_of_rank:
+            if nid not in seen:
+                seen.append(nid)
+        return tuple(seen)
+
+    def ranks_of(self, node_id: int) -> tuple[int, ...]:
+        """Global ranks hosted by ``node_id`` (ascending)."""
+        return tuple(
+            r for r, nid in enumerate(self.node_of_rank) if nid == node_id
+        )
+
+    def to_wire(self) -> list[int]:
+        return list(self.node_of_rank)
+
+    @classmethod
+    def from_wire(cls, data: list[int]) -> "Placement":
+        return cls(node_of_rank=tuple(int(v) for v in data))

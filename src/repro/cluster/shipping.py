@@ -1,0 +1,221 @@
+"""Ship rank-program callables to node daemons on other hosts.
+
+The mp backend sidesteps serialisation entirely: rank programs are
+closures over driver state, and ``fork`` gives every worker a copy for
+free.  A node daemon on another host has no fork relationship with the
+head, so the closure must really travel.  Plain pickle refuses
+(functions pickle by qualified name; a closure has none that
+resolves), hence this module's three-layer scheme:
+
+* **by reference** when possible — a module-level function (or any
+  picklable object) ships as its ordinary pickle, resolved by import
+  on the node;
+* **by value** otherwise — a closure or local function ships as its
+  marshalled code object plus recursively-shipped closure cells,
+  defaults and the referenced module globals.  Cells are pickled as
+  *one* tuple so objects shared between cells (the config referenced
+  by both ``cfg`` and ``world.config``) keep their shared identity on
+  the far side, exactly as a fork copy would;
+* **globals by import, with a shipped overlay as fallback** — the
+  rebuilt function prefers the live ``__dict__`` of its defining
+  module (importable on any node with the same checkout); only when
+  that import fails does it fall back to the shipped name-by-name
+  snapshot of the globals its code actually references.
+
+``marshal`` byte-code is CPython-version specific, so blobs embed the
+producing ``(major, minor)`` and :func:`load_program` refuses a
+mismatch — the cluster handshake enforces the same rule before any
+program is ever shipped.
+"""
+
+from __future__ import annotations
+
+import builtins
+import hashlib
+import importlib
+import marshal
+import pickle
+import sys
+import types
+from typing import Any, Callable, Iterable
+
+__all__ = ["ShipError", "ship_program", "load_program", "blobs_sha"]
+
+#: Bumped on any incompatible change to the shipped tree layout.
+SHIP_FORMAT = 1
+
+_EMPTY_CELL = "__repro_empty_cell__"
+
+
+class ShipError(TypeError):
+    """A callable (or something it closes over) cannot be shipped."""
+
+
+def _code_names(code: types.CodeType) -> set[str]:
+    """Global names referenced by ``code``, including nested code."""
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _code_names(const)
+    return names
+
+
+def _ship(obj: Any, path: str) -> tuple:
+    """Encode one object as a tagged tree node."""
+    if isinstance(obj, types.ModuleType):
+        return ("module", obj.__name__)
+    if isinstance(obj, types.FunctionType):
+        # Module-level functions resolve by qualified name; prefer the
+        # reference so the node runs the *live* definition.  ``__main__``
+        # never qualifies: the node's ``__main__`` is the daemon, not
+        # whatever script defined the function.  The loads-back check
+        # also rejects decorated/shadowed names that would resolve to a
+        # different object on the far side.
+        mod = getattr(obj, "__module__", None)
+        if mod and mod != "__main__":
+            try:
+                blob = pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
+                if pickle.loads(blob) is obj:
+                    return ("pickle", blob)
+            except Exception:
+                pass
+        return _ship_function(obj, path)
+    try:
+        return ("pickle", pickle.dumps(obj, pickle.HIGHEST_PROTOCOL))
+    except Exception as exc:
+        raise ShipError(
+            f"cannot ship {path}: {type(obj).__name__} is not picklable "
+            f"({exc})"
+        ) from exc
+
+
+def _ship_function(fn: types.FunctionType, path: str) -> tuple:
+    code = fn.__code__
+    cells: list[Any] = []
+    for cell in fn.__closure__ or ():
+        try:
+            cells.append(cell.cell_contents)
+        except ValueError:  # pragma: no cover - unbound recursive cell
+            cells.append(_EMPTY_CELL)
+    try:
+        # One pickle for all cells: objects shared between cells stay
+        # shared after the round trip (fork-copy identity semantics).
+        closure_node: tuple = ("pickle", pickle.dumps(
+            tuple(cells), pickle.HIGHEST_PROTOCOL
+        ))
+    except Exception:
+        closure_node = ("tuple", tuple(
+            _ship(v, f"{path}.<cell {i}>") for i, v in enumerate(cells)
+        ))
+    shipped_globals: dict[str, tuple] = {}
+    fn_globals = fn.__globals__
+    for name in sorted(_code_names(code)):
+        if name not in fn_globals:
+            continue  # a builtin, or resolved at call time
+        try:
+            shipped_globals[name] = _ship(fn_globals[name], f"{path}.{name}")
+        except ShipError:
+            # Leave it to the module-import path on the node; a real
+            # miss surfaces as a NameError naming the symbol.
+            continue
+    return ("func", {
+        "code": marshal.dumps(code),
+        "name": fn.__name__,
+        "qualname": fn.__qualname__,
+        "module": getattr(fn, "__module__", None),
+        "defaults": _ship(fn.__defaults__, f"{path}.__defaults__"),
+        "kwdefaults": _ship(fn.__kwdefaults__, f"{path}.__kwdefaults__"),
+        "closure": closure_node,
+        "globals": shipped_globals,
+    })
+
+
+def _load(node: tuple) -> Any:
+    tag, data = node
+    if tag == "pickle":
+        return pickle.loads(data)
+    if tag == "module":
+        return importlib.import_module(data)
+    if tag == "tuple":
+        return tuple(_load(item) for item in data)
+    if tag == "func":
+        return _load_function(data)
+    raise ShipError(f"unknown ship node tag {tag!r}")
+
+
+def _load_function(data: dict[str, Any]) -> types.FunctionType:
+    code = marshal.loads(data["code"])
+    modname = data["module"]
+    g: dict[str, Any] | None = None
+    if modname and modname != "__main__":
+        # ``__main__`` is excluded: importing it here would resolve to
+        # the *daemon's* entry module, not the script that defined fn.
+        try:
+            g = vars(importlib.import_module(modname))
+        except Exception:
+            g = None
+    if g is None:
+        g = {"__builtins__": builtins, "__name__": modname or "<shipped>"}
+        for name, sub in data["globals"].items():
+            g[name] = _load(sub)
+    cells = _load(data["closure"])
+    closure = tuple(
+        types.CellType() if _is_empty(v) else types.CellType(v)
+        for v in cells
+    ) or None
+    fn = types.FunctionType(
+        code, g, data["name"], _load(data["defaults"]), closure
+    )
+    fn.__kwdefaults__ = _load(data["kwdefaults"])
+    fn.__qualname__ = data["qualname"]
+    return fn
+
+
+def _is_empty(value: Any) -> bool:
+    return isinstance(value, str) and value == _EMPTY_CELL
+
+
+def ship_program(fn: Callable) -> bytes:
+    """Serialise one rank program for transport to a node daemon."""
+    if not callable(fn):
+        raise ShipError(f"rank program must be callable, got {type(fn).__name__}")
+    tree = _ship(fn, getattr(fn, "__qualname__", repr(fn)))
+    return pickle.dumps(
+        {
+            "format": SHIP_FORMAT,
+            "python": tuple(sys.version_info[:2]),
+            "tree": tree,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def load_program(blob: bytes) -> Callable:
+    """Rebuild a shipped rank program (on the node daemon)."""
+    doc = pickle.loads(blob)
+    if doc.get("format") != SHIP_FORMAT:
+        raise ShipError(
+            f"shipped-program format {doc.get('format')!r} != {SHIP_FORMAT}"
+        )
+    produced = tuple(doc.get("python", ()))
+    here = tuple(sys.version_info[:2])
+    if produced != here:
+        raise ShipError(
+            f"program marshalled by CPython {produced} cannot load on "
+            f"{here} (marshal is version-specific)"
+        )
+    fn = _load(doc["tree"])
+    if not callable(fn):
+        raise ShipError(f"shipped blob decoded to non-callable {type(fn).__name__}")
+    return fn
+
+
+def blobs_sha(blobs: Iterable[bytes], extra: bytes = b"") -> str:
+    """Content identity of a chunk's shipped programs (the launch
+    handshake's ``config_sha``): nodes verify what they received is
+    what the head declared."""
+    h = hashlib.sha256()
+    for blob in blobs:
+        h.update(hashlib.sha256(blob).digest())
+    h.update(extra)
+    return h.hexdigest()

@@ -523,9 +523,11 @@ class OverflowD1:
             list(self.fault_plan.faults) if self.fault_plan else []
         )
         self._steps_done = 0
-        if self.fault_plan is not None:
+        if self.fault_plan is not None or getattr(self.backend, "elastic", False):
             # Implicit step-0 restore point: recovery works even before
             # the first periodic checkpoint (or with checkpointing off).
+            # Elastic backends (cluster) get one too — their faults are
+            # real node losses that arrive without any plan.
             self._last_ckpt = self._snapshot(state, world)
         return self._main_loop(state, world)
 

@@ -3,7 +3,8 @@
 * :func:`chrome_trace` — the ``trace_event`` format understood by
   ``chrome://tracing`` and Perfetto: one complete ("X") event per
   primitive span (name = kind, category = phase), one "X" event per
-  contiguous phase band on a synthetic ``phases`` track, plus instant
+  contiguous phase band on a synthetic ``phases`` track, cumulative
+  counter ("C") series of per-phase comm-matrix traffic, plus instant
   ("i") events for driver marks.  Timestamps are virtual microseconds.
 * :func:`rollup_csv` — per-rank, per-phase rows of a
   :class:`repro.obs.rollup.PhaseRollup`; lands under
@@ -87,6 +88,36 @@ def chrome_trace(tracer: SpanTracer, pretty: bool = False) -> str:
         if args:
             ev["args"] = args
         events.append(ev)
+    # Cumulative comm-matrix counters (pid 2): one "C" series per phase
+    # tracking bytes and message count over time, so the comm volume the
+    # analytics comm_matrix() reports is visible *in* the timeline —
+    # slope changes line up with the op spans that caused them.
+    if tracer.sends:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 2,
+                "tid": 0,
+                "args": {"name": "comm counters"},
+            }
+        )
+        totals: dict[str, list[int]] = {}
+        for t, _src, _dst, _tag, nbytes, phase in sorted(tracer.sends):
+            cum = totals.setdefault(phase, [0, 0])
+            cum[0] += int(nbytes)
+            cum[1] += 1
+            events.append(
+                {
+                    "name": f"comm {phase}",
+                    "cat": "comm",
+                    "ph": "C",
+                    "ts": t * _US,
+                    "pid": 2,
+                    "tid": 0,
+                    "args": {"bytes": cum[0], "msgs": cum[1]},
+                }
+            )
     for t, name, args in tracer.marks:
         events.append(
             {

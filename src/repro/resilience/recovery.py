@@ -27,9 +27,14 @@ faulted case produce byte-identical metrics and traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.machine.faults import FaultPlan, FaultSpec
 from repro.machine.scheduler import Simulator
+
+if TYPE_CHECKING:  # import cycle: obs imports nothing from here
+    from repro.machine.spec import MachineSpec
+    from repro.obs.tracer import SpanTracer
 
 __all__ = ["RecoveryPolicy", "RecoveryRecord", "run_failure_detection"]
 
@@ -93,11 +98,11 @@ class RecoveryRecord:
 
 
 def run_failure_detection(
-    machine,
-    failed_ranks,
-    tracer=None,
+    machine: "MachineSpec",
+    failed_ranks: Iterable[int],
+    tracer: "SpanTracer | None" = None,
     timeout: float | None = None,
-    sanitizer=None,
+    sanitizer: Any = None,
 ) -> tuple[tuple[int, ...], float]:
     """Simulate the heartbeat protocol over ``machine``'s ranks.
 

@@ -38,13 +38,22 @@ from repro.serve.pool import (
     pool_available,
     throughput_microbench,
 )
-from repro.serve.protocol import MAX_FRAME, PROTOCOL_VERSION
+from repro.serve.protocol import (
+    MAX_FRAME,
+    MAX_SOCKET_PATH,
+    PROTOCOL_VERSION,
+    SocketPathTooLong,
+    check_socket_path,
+)
 from repro.serve.server import ReproServer
 
 __all__ = [
     "SERVE_RESULT_SCHEMA",
     "PROTOCOL_VERSION",
     "MAX_FRAME",
+    "MAX_SOCKET_PATH",
+    "SocketPathTooLong",
+    "check_socket_path",
     "JobSpec",
     "JobSpecError",
     "run_job",

@@ -23,7 +23,12 @@ import socket
 from typing import Any
 
 from repro.serve.jobs import JobSpec
-from repro.serve.protocol import decode_frame, encode_frame, MAX_FRAME
+from repro.serve.protocol import (
+    MAX_FRAME,
+    check_socket_path,
+    decode_frame,
+    encode_frame,
+)
 
 __all__ = [
     "ServeClient",
@@ -77,7 +82,9 @@ class ServeClient:
     """One synchronous connection to a ``repro serve`` daemon."""
 
     def __init__(self, socket_path: str, timeout: float | None = 60.0):
-        self.socket_path = str(socket_path)
+        # A path over the sockaddr_un limit raises the typed
+        # SocketPathTooLong (naming the path) before any connect.
+        self.socket_path = check_socket_path(str(socket_path))
         self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         self._sock.settimeout(timeout)
         try:

@@ -229,6 +229,43 @@ def _apply_inject(spec: JobSpec) -> None:
     # payload stays comparable to the served one.
 
 
+#: Backends whose start-up cost is worth amortising across jobs.  A
+#: cluster engine owns a pool of node daemons (TCP handshakes, forked
+#: workers); tearing that down after every served job would turn the
+#: warm-pool daemon into a cold-start machine.  Keyed by backend name —
+#: each pool worker process keeps its own warm engine.
+_WARM_BACKENDS: dict[str, Any] = {}
+
+
+def _job_backend(name: str) -> Any:
+    """Build (or reuse) the execution engine for one served job.
+
+    ``sim``/``mp`` engines are cheap throwaways; ``cluster`` engines are
+    cached per worker process so the node pool survives between jobs —
+    ``repro serve`` then dispatches onto a running cluster instead of
+    spawning one per submission.
+    """
+    from repro.backend import get_backend
+
+    if name != "cluster":
+        return get_backend(name)
+    engine = _WARM_BACKENDS.get(name)
+    if engine is None:
+        engine = _WARM_BACKENDS[name] = get_backend(name)
+    return engine
+
+
+def close_warm_backends() -> None:
+    """Release any warm engines this process holds (node daemons exit
+    on the shutdown frame instead of seeing a connection reset)."""
+    while _WARM_BACKENDS:
+        _, engine = _WARM_BACKENDS.popitem()
+        try:
+            engine.close()
+        except Exception:  # noqa: BLE001 - teardown is best-effort
+            pass
+
+
 def run_job(spec: JobSpec) -> dict:
     """Execute one job; returns the full result payload dict.
 
@@ -236,7 +273,6 @@ def run_job(spec: JobSpec) -> dict:
     for ``sim`` jobs, so it is deterministic; ``deterministic: false``
     marks measured (``mp``) payloads as host data.
     """
-    from repro.backend import get_backend
     from repro.core import OverflowD1
     from repro.machine import MACHINE_PRESETS
 
@@ -247,7 +283,7 @@ def run_job(spec: JobSpec) -> dict:
     cfg = _known_cases()[spec.case](
         machine=machine, scale=spec.scale, nsteps=spec.nsteps, f0=spec.f0
     )
-    run = OverflowD1(cfg, backend=get_backend(spec.backend)).run()
+    run = OverflowD1(cfg, backend=_job_backend(spec.backend)).run()
     rollup = run.rollup()
     igbp = run.igbp_rollup()
     result = {

@@ -40,7 +40,7 @@ import threading
 import time
 from typing import Any
 
-from repro.serve.jobs import JobSpec, run_job_bytes
+from repro.serve.jobs import JobSpec, close_warm_backends, run_job_bytes
 
 __all__ = [
     "WorkerPool",
@@ -133,6 +133,7 @@ def _worker_main(conn: Any) -> None:
                 conn.send(("error", type(exc).__name__, str(exc), detail))
             except (BrokenPipeError, OSError):
                 break
+    close_warm_backends()
     # Plain return: multiprocessing finalizes the child itself (and
     # coverage's multiprocessing hook flushes data on the way out).
 

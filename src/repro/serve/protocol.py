@@ -21,14 +21,19 @@ See ``docs/serving.md`` for the full request/response catalogue.
 
 from __future__ import annotations
 
+import errno
 import json
+import sys
 from typing import Any, BinaryIO
 
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME",
+    "MAX_SOCKET_PATH",
     "ProtocolError",
     "FrameTooLarge",
+    "SocketPathTooLong",
+    "check_socket_path",
     "encode_frame",
     "decode_frame",
     "read_frame",
@@ -52,6 +57,44 @@ class ProtocolError(ValueError):
 
 class FrameTooLarge(ProtocolError):
     """A frame exceeded :data:`MAX_FRAME` (connection must close)."""
+
+
+#: Usable bytes in a ``sockaddr_un`` path.  The kernel's buffer is 108
+#: bytes on Linux and 104 on the BSDs/macOS; one byte goes to the NUL
+#: terminator.  Paths longer than this fail to bind/connect with a raw
+#: ``OSError`` whose message never names the path — worth a typed error.
+MAX_SOCKET_PATH = 103 if sys.platform == "darwin" else 107
+
+
+class SocketPathTooLong(OSError):
+    """A unix socket path exceeds the OS ``sockaddr_un`` limit.
+
+    Subclasses :class:`OSError` (with ``ENAMETOOLONG``) so existing
+    ``except OSError`` handlers keep working, but carries an actionable
+    message naming the offending path and its byte length — instead of
+    the kernel's bare ``AF_UNIX path too long``.
+    """
+
+    def __init__(self, path: str) -> None:
+        encoded = len(str(path).encode())
+        super().__init__(
+            errno.ENAMETOOLONG,
+            f"unix socket path is {encoded} bytes, over the OS limit of "
+            f"{MAX_SOCKET_PATH}: {path!r} — choose a shorter --socket "
+            f"path (e.g. under /tmp)",
+        )
+        self.path = str(path)
+
+
+def check_socket_path(path: str) -> str:
+    """Validate a unix socket path's length; returns it unchanged.
+
+    Raises :class:`SocketPathTooLong` *before* any bind/connect so both
+    the server and the client report the same typed, path-naming error.
+    """
+    if len(str(path).encode()) > MAX_SOCKET_PATH:
+        raise SocketPathTooLong(path)
+    return str(path)
 
 
 def encode_frame(obj: dict[str, Any]) -> bytes:

@@ -51,6 +51,7 @@ from repro.serve.protocol import (
     PROTOCOL_VERSION,
     FrameTooLarge,
     ProtocolError,
+    check_socket_path,
     encode_frame,
     error_response,
     ok_response,
@@ -154,7 +155,9 @@ class ReproServer:
     # ------------------------------------------------------------- setup
 
     def _bind(self) -> None:
-        path = self.socket_path
+        # Over-long paths get the typed SocketPathTooLong (an OSError
+        # naming the path) instead of the kernel's bare bind failure.
+        path = check_socket_path(self.socket_path)
         if os.path.exists(path):
             # A stale socket from a crashed daemon is fine to replace; a
             # *live* one is not.

@@ -1,0 +1,48 @@
+"""Placement: contiguous blocking, remainder rule, wire round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.placement import Placement
+
+
+def test_even_split():
+    p = Placement.contiguous(4, [0, 1])
+    assert p.node_of_rank == (0, 0, 1, 1)
+    assert p.nranks == 4
+    assert p.node_ids == (0, 1)
+    assert p.ranks_of(0) == (0, 1)
+    assert p.ranks_of(1) == (2, 3)
+
+
+def test_remainder_goes_to_leading_nodes():
+    # 7 = 2*3 + 1: first node gets 3 ranks, the other two get 2.
+    p = Placement.contiguous(7, [0, 1, 2])
+    assert p.node_of_rank == (0, 0, 0, 1, 1, 2, 2)
+
+
+def test_fewer_ranks_than_nodes_leaves_tail_idle():
+    p = Placement.contiguous(2, [0, 1, 2])
+    assert p.node_of_rank == (0, 1)
+    assert p.node_ids == (0, 1)
+    assert p.ranks_of(2) == ()
+
+
+def test_survivor_ids_keep_their_numbers():
+    # After node 0 dies the placement just spans the survivors; the
+    # surviving handshake ids are used verbatim.
+    p = Placement.contiguous(4, [1, 2])
+    assert p.node_of_rank == (1, 1, 2, 2)
+
+
+def test_wire_round_trip():
+    p = Placement.contiguous(5, [3, 5])
+    assert Placement.from_wire(p.to_wire()) == p
+
+
+def test_rejects_empty():
+    with pytest.raises(ValueError):
+        Placement.contiguous(0, [0])
+    with pytest.raises(ValueError):
+        Placement.contiguous(4, [])

@@ -1,0 +1,125 @@
+"""Wire-protocol unit tests: framing, caps, truncation, addresses.
+
+Pure socketpair tests — no daemons, no forks — so this file runs in the
+default (unmarked) tier.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.cluster.protocol import (
+    MAX_CONTROL_FRAME,
+    ClusterProtocolError,
+    FrameTooLarge,
+    parse_hostport,
+    recv_message,
+    send_control,
+    send_data,
+    send_payload,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestRoundTrips:
+    def test_control_frame(self, pair):
+        a, b = pair
+        send_control(a, {"op": "hb", "node": 3})
+        assert recv_message(b) == ("control", {"op": "hb", "node": 3})
+
+    def test_payload_frame_carries_binary(self, pair):
+        a, b = pair
+        blob = bytes(range(256)) * 10
+        send_payload(a, {"op": "launch", "blob": blob})
+        kind, obj = recv_message(b)
+        assert kind == "payload"
+        assert obj["blob"] == blob
+
+    def test_data_frame_verbatim(self, pair):
+        a, b = pair
+        frame = b"\x00engine-frame-bytes\xff"
+        send_data(a, 7, frame)
+        assert recv_message(b) == ("data", (7, frame))
+
+    def test_interleaved_kinds_stay_ordered(self, pair):
+        a, b = pair
+        send_control(a, {"op": "ready"})
+        send_data(a, 0, b"x" * 3)
+        send_payload(a, {"op": "rank_done", "rank": 1})
+        assert recv_message(b)[0] == "control"
+        assert recv_message(b)[0] == "data"
+        assert recv_message(b)[0] == "payload"
+
+    def test_large_data_frame(self, pair):
+        a, b = pair
+        frame = b"z" * (4 << 20)  # over any single recv() chunk
+        t = threading.Thread(target=send_data, args=(a, 2, frame))
+        t.start()
+        kind, (dst, got) = recv_message(b)
+        t.join()
+        assert kind == "data" and dst == 2 and got == frame
+
+
+class TestErrors:
+    def test_clean_eof_is_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_message(b) is None
+
+    def test_mid_frame_eof_is_typed(self, pair):
+        a, b = pair
+        a.sendall(b"J" + (100).to_bytes(4, "big") + b"only-ten-b")
+        a.close()
+        with pytest.raises(ClusterProtocolError, match="mid-frame"):
+            recv_message(b)
+
+    def test_oversized_control_frame_refused_on_send(self, pair):
+        a, _ = pair
+        with pytest.raises(FrameTooLarge):
+            send_control(a, {"pad": "x" * (MAX_CONTROL_FRAME + 1)})
+
+    def test_oversized_incoming_length_word(self, pair):
+        a, b = pair
+        a.sendall(b"J" + (MAX_CONTROL_FRAME + 1).to_bytes(4, "big"))
+        with pytest.raises(FrameTooLarge):
+            recv_message(b)
+
+    def test_unknown_kind(self, pair):
+        a, b = pair
+        a.sendall(b"Q" + (0).to_bytes(4, "big"))
+        with pytest.raises(ClusterProtocolError, match="unknown frame kind"):
+            recv_message(b)
+
+    def test_control_garbage_json(self, pair):
+        a, b = pair
+        a.sendall(b"J" + (4).to_bytes(4, "big") + b"nope")
+        with pytest.raises(ClusterProtocolError, match="JSON"):
+            recv_message(b)
+
+    def test_unencodable_control(self, pair):
+        a, _ = pair
+        with pytest.raises(ClusterProtocolError, match="unencodable"):
+            send_control(a, {"bad": float("nan")})
+
+
+class TestParseHostport:
+    def test_plain(self):
+        assert parse_hostport("10.0.0.5:9100") == ("10.0.0.5", 9100)
+
+    def test_hostname(self):
+        assert parse_hostport("head.local:80") == ("head.local", 80)
+
+    @pytest.mark.parametrize("bad", ["nohost", ":123", "h:port", "h:"])
+    def test_malformed(self, bad):
+        with pytest.raises(ClusterProtocolError):
+            parse_hostport(bad)

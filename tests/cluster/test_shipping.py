@@ -1,0 +1,133 @@
+"""Closure shipping: by-reference vs by-value, identity, guards.
+
+Everything here is an in-process round trip (``load_program`` of a
+``ship_program`` blob) — the cross-interpreter leg is exercised by the
+backend tests, which run the same machinery through real daemons.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cluster.shipping import (
+    ShipError,
+    blobs_sha,
+    load_program,
+    ship_program,
+)
+
+SCALE = 3
+
+
+def module_level_program(comm):
+    yield from comm.elapse(1.0)
+    return comm.rank * SCALE
+
+
+def test_module_function_ships_by_reference():
+    fn = load_program(ship_program(module_level_program))
+    # Importable module-level functions resolve to the live object.
+    assert fn is module_level_program
+
+
+def test_closure_ships_by_value_with_cells_and_defaults():
+    offset = 100
+
+    def prog(comm, bump=7):
+        yield from comm.elapse(1.0)
+        return comm.rank + offset + bump
+
+    fn = load_program(ship_program(prog))
+    assert fn is not prog
+    assert fn.__defaults__ == (7,)
+    gen = fn(_FakeComm(rank=2))
+    assert _drive(gen) == 109
+
+
+def test_shared_cell_identity_survives():
+    shared = {"hits": 0}
+
+    def prog(comm, a=shared, b=shared):
+        yield from comm.elapse(1.0)
+        a["hits"] += 1
+        return b["hits"]  # same dict iff identity survived
+
+    fn = load_program(ship_program(prog))
+    assert _drive(fn(_FakeComm(rank=0))) == 1
+    # ...and the rebuilt defaults alias each other, not the original.
+    assert fn.__defaults__[0] is fn.__defaults__[1]
+    assert fn.__defaults__[0] is not shared
+
+
+def test_main_module_closure_uses_shipped_globals():
+    # Simulate a function defined in a script's __main__: its globals
+    # must travel by value (the node's __main__ is the daemon).
+    code = compile(
+        "def prog(comm):\n"
+        "    yield from comm.elapse(1.0)\n"
+        "    return int(np.sum(np.arange(GAIN)))\n",
+        "<script>",
+        "exec",
+    )
+    fake_main = {"__name__": "__main__", "np": np, "GAIN": 4}
+    exec(code, fake_main)
+    fn = load_program(ship_program(fake_main["prog"]))
+    assert _drive(fn(_FakeComm(rank=0))) == 6
+
+
+def test_unpicklable_closure_is_typed_error():
+    handle = open(__file__)
+    try:
+
+        def prog(comm):
+            yield from comm.elapse(1.0)
+            return handle.name
+
+        with pytest.raises(ShipError, match="not picklable"):
+            ship_program(prog)
+    finally:
+        handle.close()
+
+
+def test_non_callable_refused():
+    with pytest.raises(ShipError, match="callable"):
+        ship_program(42)
+
+
+def test_python_version_mismatch_refused():
+    blob = ship_program(module_level_program)
+    doc = pickle.loads(blob)
+    doc["python"] = (sys.version_info[0], sys.version_info[1] + 1)
+    with pytest.raises(ShipError, match="CPython"):
+        load_program(pickle.dumps(doc))
+
+
+def test_blobs_sha_is_order_and_content_sensitive():
+    a, b = b"blob-a", b"blob-b"
+    assert blobs_sha([a, b]) == blobs_sha([a, b])
+    assert blobs_sha([a, b]) != blobs_sha([b, a])
+    assert blobs_sha([a]) != blobs_sha([a], extra=b"salt")
+
+
+# ---------------------------------------------------------------- helpers
+
+
+class _FakeComm:
+    def __init__(self, rank: int, size: int = 4):
+        self.rank = rank
+        self.size = size
+
+    def elapse(self, seconds):
+        yield ("elapse", seconds)
+
+
+def _drive(gen):
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value

@@ -72,6 +72,36 @@ class TestChromeTrace:
         assert inst[0]["s"] == "g"
         assert inst[0]["args"]["nsteps"] == 2
 
+    def test_comm_counter_series_cumulative_per_phase(self):
+        t = toy_tracer()
+        t.send(0.5, 0, 1, 7, 64, "flow")
+        t.send(1.0, 1, 0, 7, 32, "flow")
+        t.send(1.2, 0, 1, 8, 16, "dcf")
+        doc = json.loads(chrome_trace(t))
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert all(e["pid"] == 2 and e["cat"] == "comm" for e in counters)
+        flow = [e for e in counters if e["name"] == "comm flow"]
+        assert [e["args"]["bytes"] for e in flow] == [64, 96]
+        assert [e["args"]["msgs"] for e in flow] == [1, 2]
+        dcf = [e for e in counters if e["name"] == "comm dcf"]
+        assert [e["args"]["bytes"] for e in dcf] == [16]
+        assert flow[0]["ts"] == pytest.approx(0.5e6)
+        meta = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["pid"] == 2
+        ]
+        assert meta[0]["args"]["name"] == "comm counters"
+
+    def test_no_counters_without_sends(self):
+        doc = json.loads(chrome_trace(toy_tracer()))
+        assert not [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert not [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["pid"] == 2
+        ]
+
     def test_pretty_flag_indents(self):
         assert "\n" in chrome_trace(toy_tracer(), pretty=True)
         assert "\n" not in chrome_trace(toy_tracer(), pretty=False)

@@ -189,3 +189,35 @@ class TestConfigShaProperties:
         assert (
             JobSpec.from_dict(wire, check_runnable=False).sha() == spec.sha()
         )
+
+
+class TestWarmBackends:
+    def test_close_warm_backends_drains_and_tolerates_errors(self):
+        from repro.serve import jobs
+
+        closed = []
+
+        class Good:
+            def close(self):
+                closed.append("good")
+
+        class Bad:
+            def close(self):
+                raise RuntimeError("boom")
+
+        jobs._WARM_BACKENDS.update({"a": Good(), "b": Bad()})
+        try:
+            jobs.close_warm_backends()
+            assert closed == ["good"]
+            assert jobs._WARM_BACKENDS == {}
+        finally:
+            jobs._WARM_BACKENDS.clear()
+
+    def test_job_backend_caches_only_cluster(self):
+        from repro.serve.jobs import _WARM_BACKENDS, _job_backend
+
+        assert _WARM_BACKENDS == {}
+        eng = _job_backend("sim")
+        assert eng.name == "sim"
+        assert _WARM_BACKENDS == {}  # sim engines are throwaways
+        assert _job_backend("sim") is not eng

@@ -7,8 +7,10 @@ frame with a typed error, (b) never wedges, and (c) still serves a
 well-formed request on the same or a fresh connection afterwards.
 """
 
+import errno
 import io
 import json
+import os
 import socket
 
 import pytest
@@ -17,8 +19,11 @@ from hypothesis import strategies as st
 
 from repro.serve import MAX_FRAME, ServeClient
 from repro.serve.protocol import (
+    MAX_SOCKET_PATH,
     FrameTooLarge,
     ProtocolError,
+    SocketPathTooLong,
+    check_socket_path,
     decode_frame,
     encode_frame,
     error_response,
@@ -73,6 +78,39 @@ class TestFraming:
         assert err["error"] == {"kind": "Kind", "message": "msg",
                                 "detail": {"d": 1}}
         assert err["id"] == 7
+
+
+class TestSocketPathLimit:
+    """Over-long unix socket paths raise the typed error before any
+    bind/connect — never the kernel's bare ``AF_UNIX path too long``."""
+
+    LONG = "/tmp/" + "x" * (MAX_SOCKET_PATH + 1) + ".sock"
+
+    def test_short_path_passes_through(self):
+        assert check_socket_path("/tmp/ok.sock") == "/tmp/ok.sock"
+
+    def test_over_limit_raises_typed_oserror(self):
+        with pytest.raises(SocketPathTooLong) as ei:
+            check_socket_path(self.LONG)
+        exc = ei.value
+        assert isinstance(exc, OSError)
+        assert exc.errno == errno.ENAMETOOLONG
+        assert exc.path == self.LONG
+        # The message is actionable: names the path and the OS limit.
+        assert self.LONG in str(exc)
+        assert str(MAX_SOCKET_PATH) in str(exc)
+
+    def test_client_rejects_at_construction(self):
+        with pytest.raises(SocketPathTooLong):
+            ServeClient(self.LONG)
+
+    def test_server_rejects_before_bind(self):
+        from repro.serve.server import ReproServer
+
+        server = ReproServer(self.LONG, workers=1)
+        with pytest.raises(SocketPathTooLong):
+            server._bind()
+        assert not os.path.exists(self.LONG)
 
 
 def _raw_exchange(path: str, data: bytes, nlines: int = 1) -> list[bytes]:
