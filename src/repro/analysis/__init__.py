@@ -25,6 +25,12 @@ from repro.analysis.lint import (
     rule_catalog,
 )
 from repro.analysis.fix import FixResult, fix_paths, fix_rpr007_source
+from repro.analysis.commcheck import (
+    CheckFinding,
+    CheckReport,
+    run_check,
+    run_check_with_baseline_file,
+)
 from repro.analysis.sanitizer import (
     FINDING_KINDS,
     Sanitizer,
@@ -34,6 +40,10 @@ from repro.analysis.sanitizer import (
 )
 
 __all__ = [
+    "CheckFinding",
+    "CheckReport",
+    "run_check",
+    "run_check_with_baseline_file",
     "Finding",
     "FixResult",
     "fix_paths",

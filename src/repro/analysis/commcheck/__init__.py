@@ -1,0 +1,61 @@
+"""Whole-program comm-protocol & lock-discipline analyzer (``repro check``).
+
+Layered pipeline (each module usable on its own):
+
+* :mod:`~repro.analysis.commcheck.callgraph` — program loader: modules,
+  resolved constants, functions, heuristic call graph;
+* :mod:`~repro.analysis.commcheck.summary` — communication-site
+  extraction (every ``yield from comm.<op>(...)`` with tag/phase/loop
+  context);
+* :mod:`~repro.analysis.commcheck.protocol` — RPR010–RPR013 protocol
+  checks over the summary;
+* :mod:`~repro.analysis.commcheck.locks` — RPR014–RPR015 lock
+  discipline over the threaded serve/cluster code;
+* :mod:`~repro.analysis.commcheck.baseline` — checked-in suppression
+  file with stale-entry detection;
+* :mod:`~repro.analysis.commcheck.sarif` — SARIF 2.1.0 export;
+* :mod:`~repro.analysis.commcheck.engine` — the orchestrator behind
+  ``repro check``.
+"""
+
+from repro.analysis.commcheck.baseline import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.commcheck.callgraph import Program, load_program
+from repro.analysis.commcheck.engine import (
+    CheckReport,
+    run_check,
+    run_check_with_baseline_file,
+)
+from repro.analysis.commcheck.model import (
+    CheckFinding,
+    CommSite,
+    CommSummary,
+    TagInfo,
+)
+from repro.analysis.commcheck.rules import COMMCHECK_CODES
+from repro.analysis.commcheck.sarif import sarif_json, to_sarif
+from repro.analysis.commcheck.summary import extract_summary
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "CheckFinding",
+    "CheckReport",
+    "CommSite",
+    "CommSummary",
+    "COMMCHECK_CODES",
+    "Program",
+    "TagInfo",
+    "apply_baseline",
+    "extract_summary",
+    "load_baseline",
+    "load_program",
+    "run_check",
+    "run_check_with_baseline_file",
+    "sarif_json",
+    "to_sarif",
+]

@@ -1,0 +1,147 @@
+"""Registry metadata for the whole-program rules RPR010–RPR015.
+
+These rules live in the same registry as the per-file lint rules so the
+code space stays unified (``repro lint --rules`` and the docs list all
+of them), but they deliberately do **not** run under ``repro lint``:
+their ``applies`` is always false because they need the whole program,
+not one file.  The actual analyses live in
+:mod:`repro.analysis.commcheck.protocol` and
+:mod:`repro.analysis.commcheck.locks`, orchestrated by
+:mod:`repro.analysis.commcheck.engine` (``repro check``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.lint import Finding, LintContext, Rule, register
+
+#: Codes implemented by the commcheck engine (ordered).
+COMMCHECK_CODES = (
+    "RPR010",
+    "RPR011",
+    "RPR012",
+    "RPR013",
+    "RPR014",
+    "RPR015",
+)
+
+
+class ProgramRule(Rule):
+    """A whole-program rule: registered for the catalog, inert in lint."""
+
+    def applies(self, ctx: LintContext) -> bool:
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:  # pragma: no cover
+        return iter(())
+
+
+@register
+class CollectiveDivergence(ProgramRule):
+    code = "RPR010"
+    name = "collective-skipped-on-path"
+    summary = (
+        "collective executed on one rank-dependent control-flow path "
+        "but skipped on another"
+    )
+    rationale = (
+        "Collectives are rendezvous points: every rank of the "
+        "communicator must call them in the same order.  A collective "
+        "under `if rank == 0:` (with no matching call on the other "
+        "path, or skipped by an early return) leaves the other ranks "
+        "blocked in it forever — the classic SPMD hang.  Whole-program "
+        "only: needs branch-sensitive placement of collective sites."
+    )
+
+
+@register
+class UnmatchedTag(ProgramRule):
+    code = "RPR011"
+    name = "unmatched-tag"
+    summary = (
+        "message tag sent but never received anywhere in the program "
+        "(or received but never sent)"
+    )
+    rationale = (
+        "A send whose tag no receive in the whole program matches is "
+        "dead traffic at best and a buffered-send leak at worst; a "
+        "receive whose tag is never sent blocks its rank forever.  "
+        "Matching is done on resolved constant values (following "
+        "`from x import TAG` chains) and falls back to constant names, "
+        "so renaming one side of a protocol is caught statically."
+    )
+
+
+@register
+class UnguardedWildcardRecvLoop(ProgramRule):
+    code = "RPR012"
+    name = "unguarded-wildcard-recv-loop"
+    summary = (
+        "blocking wildcard-source recv reachable in a loop without "
+        "status.source disambiguation"
+    )
+    rationale = (
+        "A blocking `recv(ANY_SOURCE)` in a loop consumes racing sends "
+        "in arrival order.  Unless the loop disambiguates via "
+        "`status.source` (e.g. `out[status.source] = data`), the "
+        "result depends on message timing — which breaks the "
+        "bit-determinism contract the simulated machine guarantees "
+        "and real MPI does not.  Interprocedural: the loop may be in "
+        "a caller of the receiving helper."
+    )
+
+
+@register
+class ReservedTagForgery(ProgramRule):
+    code = "RPR013"
+    name = "reserved-tag-forgery"
+    summary = (
+        "tag at/above MAX_USER_TAG (or a reserved _TAG_* constant) "
+        "used outside the tag-authority modules"
+    )
+    rationale = (
+        "Everything at or above MAX_USER_TAG is reserved: SubComm "
+        "group translation offsets user tags by multiples of the "
+        "stride, and collectives/heartbeats live above every possible "
+        "offset.  User code that forges a reserved tag can intercept "
+        "another rank's collective round or heartbeat, corrupting "
+        "protocol state in ways the runtime sanitizer only catches on "
+        "paths a case actually executes."
+    )
+
+
+@register
+class InconsistentLockDiscipline(ProgramRule):
+    code = "RPR014"
+    name = "inconsistent-lock-discipline"
+    summary = (
+        "attribute written both with and without a lock held, or two "
+        "locks acquired in opposite orders"
+    )
+    rationale = (
+        "A shared attribute written under a lock in one method and "
+        "bare in another gives readers a torn-read/lost-update window "
+        "that shows up only under production interleavings.  Two locks "
+        "taken in opposite orders on different paths (ABBA) deadlock "
+        "the first time the schedules overlap.  Both need class-wide "
+        "and cross-function views, hence the whole-program pass."
+    )
+
+
+@register
+class BlockingCallUnderLock(ProgramRule):
+    code = "RPR015"
+    name = "blocking-call-under-lock"
+    summary = (
+        "blocking socket/pipe/disk call (or sleep/join) made while "
+        "holding a lock"
+    )
+    rationale = (
+        "I/O under a lock serializes every contending thread behind "
+        "the slowest disk or peer, and wedges the process outright if "
+        "the I/O's completion depends on a thread that needs the lock. "
+        "Condition-variable waits on the held condition itself are "
+        "exempt (wait releases the lock); calls into helpers that "
+        "perform I/O are traced two levels through the call graph."
+    )

@@ -170,10 +170,13 @@ def rule_catalog() -> list[dict]:
 
 
 def _ensure_rules_loaded() -> None:
-    # The rules module registers itself on import; import lazily to
-    # avoid a hard cycle (rules imports helpers from this module).
+    # The rules modules register themselves on import; import lazily to
+    # avoid a hard cycle (rules import helpers from this module).  The
+    # commcheck rules (RPR010+) share the registry but only run under
+    # ``repro check`` — their ``applies`` is always false here.
     if not _REGISTRY:
         from repro.analysis import rules  # noqa: F401  (side-effect import)
+        from repro.analysis.commcheck import rules as _commcheck_rules  # noqa: F401
 
 
 # ----------------------------------------------------------------------

@@ -479,6 +479,67 @@ def cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_check(args) -> int:
+    from repro.analysis import rule_catalog
+    from repro.analysis.commcheck import (
+        BaselineError,
+        COMMCHECK_CODES,
+        load_baseline,
+        run_check,
+        sarif_json,
+        to_sarif,
+    )
+
+    catalog = [r for r in rule_catalog() if r["code"] in COMMCHECK_CODES]
+    if args.rules:
+        for rule in catalog:
+            print(f"{rule['code']}  {rule['name']}: {rule['summary']}")
+        return 0
+    paths = args.paths or ["src/repro"]
+    select = args.select.split(",") if args.select else None
+    baseline = []
+    if not args.no_baseline:
+        from pathlib import Path
+
+        bl = Path(args.baseline)
+        if bl.is_file():
+            try:
+                baseline = load_baseline(bl)
+            except BaselineError as exc:
+                raise SystemExit(str(exc))
+        elif args.baseline_check:
+            raise SystemExit(
+                f"--baseline-check: baseline file not found: {bl}"
+            )
+    try:
+        report = run_check(paths, select=select, baseline=baseline)
+    except (ValueError, FileNotFoundError) as exc:
+        raise SystemExit(str(exc))
+    if args.sarif:
+        doc = to_sarif(
+            report.findings,
+            waived=report.waived,
+            suppressed=report.suppressed,
+            rules=catalog,
+        )
+        text = sarif_json(doc)
+        if args.sarif == "-":
+            print(text)
+        else:
+            from pathlib import Path
+
+            Path(args.sarif).write_text(text + "\n", encoding="utf-8")
+    if not (args.sarif == "-"):
+        print(
+            report.to_json()
+            if args.json
+            else report.format(show_summary=args.summary)
+        )
+    if args.baseline_check and report.stale_baseline:
+        return 1
+    return 0 if report.ok else 1
+
+
 def _default_socket() -> str:
     import os
 
@@ -856,6 +917,52 @@ def build_parser() -> argparse.ArgumentParser:
         "iterables in sorted(...)), then lint the result",
     )
     lint.set_defaults(fn=cmd_lint)
+
+    check = sub.add_parser(
+        "check",
+        help="whole-program comm-protocol & lock-discipline analysis "
+        "(RPR010-RPR015) with baseline + SARIF output",
+    )
+    check.add_argument(
+        "paths", nargs="*",
+        help="files/directories to analyze as one program "
+        "(default: src/repro)",
+    )
+    check.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (e.g. RPR014,RPR015)",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="emit the JSON report"
+    )
+    check.add_argument(
+        "--sarif", metavar="FILE",
+        help="write a SARIF 2.1.0 report to FILE ('-' for stdout)",
+    )
+    check.add_argument(
+        "--baseline", default="analysis-baseline.json", metavar="FILE",
+        help="suppression baseline for documented false positives "
+        "(default: analysis-baseline.json; missing file = empty)",
+    )
+    check.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report raw findings)",
+    )
+    check.add_argument(
+        "--baseline-check", action="store_true",
+        help="also fail (exit 1) when the baseline contains stale "
+        "entries that no longer match any finding",
+    )
+    check.add_argument(
+        "--rules", action="store_true",
+        help="list the whole-program rule catalog and exit",
+    )
+    check.add_argument(
+        "--summary", action="store_true",
+        help="print the extracted communication summary after the "
+        "findings",
+    )
+    check.set_defaults(fn=cmd_check)
 
     def socket_opt(sp):
         sp.add_argument(

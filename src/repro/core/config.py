@@ -44,7 +44,7 @@ class CaseConfig:
     overlap_halo: bool = False
     work: WorkModel = field(default_factory=lambda: DEFAULT_WORK_MODEL)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         n = len(self.grids)
         if n == 0:
             raise ValueError("case needs at least one grid")

@@ -54,10 +54,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.backend import ExecutionBackend, get_backend
+from repro.backend import BackendResult, ExecutionBackend, get_backend
 from repro.connectivity.dcf import DcfConfig, DcfWorld, dcf_rank_program
 from repro.connectivity.holecut import cut_holes
-from repro.connectivity.igbp import find_igbps
+from repro.connectivity.igbp import IgbpSet, find_igbps
 from repro.connectivity.restart import RestartCache
 from repro.core.config import CaseConfig
 from repro.machine.faults import FaultPlan, FaultSpec, RankFailure
@@ -214,13 +214,13 @@ class RunResult:
 class _WorldState:
     """Shared (read-mostly) overset system state, advanced by rank 0."""
 
-    def __init__(self, config: CaseConfig):
+    def __init__(self, config: CaseConfig) -> None:
         self.config = config
         self.reference = list(config.grids)
         self.grids = list(config.grids)
         self.time = 0.0
-        self.iblanks = None
-        self.igbp_sets = None
+        self.iblanks: list[np.ndarray] = []
+        self.igbp_sets: list[IgbpSet] = []
         self.advance(0.0)
 
     def advance(self, t: float) -> None:
@@ -260,7 +260,9 @@ class _WorldState:
             for gi, g in enumerate(self.grids)
         ]
 
-    def own_igbps(self, partition: Partition, rank: int):
+    def own_igbps(
+        self, partition: Partition, rank: int
+    ) -> tuple[np.ndarray, np.ndarray]:
         """(flat ids, coordinates) of the IGBPs this rank owns."""
         gi = partition.grid_of_rank(rank)
         box = partition.subdomain_of(rank).box
@@ -445,7 +447,7 @@ class OverflowD1:
         recovery_policy: RecoveryPolicy | None = None,
         sanitizer=None,
         backend: str | ExecutionBackend = "sim",
-    ):
+    ) -> None:
         self.config = config
         self.backend = (
             backend
@@ -838,7 +840,7 @@ class OverflowD1:
         metrics=None,
         tracer=None,
         fault_plan=None,
-    ):
+    ) -> BackendResult:
         """Simulate ``nsteps`` timesteps at a fixed partition.
 
         ``clocks``/``metrics`` warm-start the per-rank virtual clocks

@@ -11,6 +11,7 @@ procedure at example scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -47,7 +48,7 @@ class OversetDriver:
         motions: dict[int, PrescribedMotion] | None = None,
         fringe_layers: int = 1,
         use_restart: bool = True,
-    ):
+    ) -> None:
         if not grids:
             raise ValueError("need at least one grid")
         ndim = grids[0].ndim
@@ -238,7 +239,13 @@ class OversetDriver:
 class Overset3D(OversetDriver):
     """Real-physics 3-D overset driver."""
 
-    def __init__(self, grids, flow, search_lists, **kw):
+    def __init__(
+        self,
+        grids: list[CurvilinearGrid],
+        flow: FlowConfig,
+        search_lists: dict[int, list[int]],
+        **kw: Any,
+    ) -> None:
         if grids and grids[0].ndim != 3:
             raise ValueError("Overset3D is 3-D only")
         super().__init__(grids, flow, search_lists, **kw)

@@ -8,7 +8,11 @@ grid with the interpolated data", paper section 2.0).
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.overset import ConnectivityReport, OversetDriver
+from repro.grids.structured import CurvilinearGrid
+from repro.solver.state import FlowConfig
 
 __all__ = ["ConnectivityReport", "Overset2D"]
 
@@ -16,7 +20,13 @@ __all__ = ["ConnectivityReport", "Overset2D"]
 class Overset2D(OversetDriver):
     """Serial dynamic-overset driver over real 2-D flow solvers."""
 
-    def __init__(self, grids, flow, search_lists, **kw):
+    def __init__(
+        self,
+        grids: list[CurvilinearGrid],
+        flow: FlowConfig,
+        search_lists: dict[int, list[int]],
+        **kw: Any,
+    ) -> None:
         if grids and grids[0].ndim != 2:
             raise ValueError("Overset2D is 2-D only")
         super().__init__(grids, flow, search_lists, **kw)

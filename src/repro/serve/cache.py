@@ -58,38 +58,68 @@ class ResultCache:
         return self.directory / f"{sha}.json"
 
     def get(self, sha: str) -> bytes | None:
-        """The cached payload for ``sha``, or ``None`` (counted)."""
+        """The cached payload for ``sha``, or ``None`` (counted).
+
+        The spill-directory read happens *outside* the lock (it is
+        blocking disk I/O; holding the lock across it would stall every
+        dispatcher thread behind one slow disk).  Exactly one of
+        ``hits``/``misses`` is incremented per call regardless.
+        """
         with self._lock:
             payload = self._mem.get(sha)
             if payload is not None:
                 self._mem.move_to_end(sha)
                 self.hits += 1
                 return payload
-            if self.directory is not None:
-                path = self._path_for(sha)
-                try:
-                    payload = path.read_bytes()
-                except OSError:
-                    payload = None
-                if payload:
-                    self._insert(sha, payload)
-                    self.hits += 1
-                    return payload
+            if self.directory is None:
+                self.misses += 1
+                return None
+            path = self._path_for(sha)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            payload = None
+        with self._lock:
+            raced = self._mem.get(sha)
+            if raced is not None:
+                # another thread inserted while we were reading; its
+                # copy is authoritative (byte-identical by construction)
+                self._mem.move_to_end(sha)
+                self.hits += 1
+                return raced
+            if payload:
+                self._insert(sha, payload)
+                self.hits += 1
+                return payload
             self.misses += 1
             return None
 
     def put(self, sha: str, payload: bytes) -> None:
-        """Store ``payload`` under ``sha`` (refreshes recency)."""
+        """Store ``payload`` under ``sha`` (refreshes recency).
+
+        The spill write is staged to a uniquely-named temp file outside
+        the lock; only the atomic rename and the LRU insert run under
+        it, so ``put`` never holds the lock across disk I/O.
+        """
         if not isinstance(payload, bytes):
             raise TypeError(
                 f"cache stores bytes, got {type(payload).__name__}"
             )
-        with self._lock:
-            if self.directory is not None and sha not in self._mem:
+        staged: tuple[Path, Path] | None = None
+        if self.directory is not None:
+            with self._lock:
+                need_disk = sha not in self._mem
+            if need_disk:
                 path = self._path_for(sha)
-                tmp = path.with_name(path.name + ".tmp")
+                tmp = path.with_name(
+                    f"{path.name}.{os.getpid()}."
+                    f"{threading.get_ident()}.tmp"
+                )
                 tmp.write_bytes(payload)
-                os.replace(tmp, path)
+                staged = (tmp, path)
+        with self._lock:
+            if staged is not None:
+                os.replace(staged[0], staged[1])
             self._insert(sha, payload)
 
     def _insert(self, sha: str, payload: bytes) -> None:

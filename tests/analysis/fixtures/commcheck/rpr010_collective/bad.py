@@ -1,0 +1,27 @@
+"""RPR010 seeds: collectives diverging across rank-dependent paths."""
+
+TAG_DATA = 5
+
+
+def branch_divergence(comm):
+    """barrier only on rank 0 — every other rank hangs in nothing."""
+    if comm.rank == 0:
+        yield from comm.barrier()
+    yield from comm.send(1, TAG_DATA, b"x")
+
+
+def else_divergence(comm):
+    """allreduce only on the else path."""
+    if comm.rank == 0:
+        yield from comm.send(1, TAG_DATA, b"x")
+    else:
+        total = yield from comm.allreduce(1)
+        return total
+
+
+def early_return(comm):
+    """rank 0 returns before the bcast the others wait in."""
+    if comm.rank == 0:
+        return None
+    value = yield from comm.bcast(None, root=1)
+    return value

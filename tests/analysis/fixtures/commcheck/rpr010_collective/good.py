@@ -1,0 +1,30 @@
+"""RPR010 clean shapes: collectives on every rank-dependent path."""
+
+TAG_DATA = 5
+
+
+def all_paths_join(comm):
+    """rank-dependent p2p is fine; the barrier is outside the branch."""
+    if comm.rank == 0:
+        yield from comm.send(1, TAG_DATA, b"x")
+    else:
+        data, status = yield from comm.recv(0, TAG_DATA)
+    yield from comm.barrier()
+
+
+def both_arms_call(comm):
+    """same collective in both arms — every rank joins it."""
+    if comm.rank == 0:
+        out = yield from comm.gather("root", root=0)
+        return out
+    else:
+        yield from comm.gather("leaf", root=0)
+        return None
+
+
+def non_rank_branch(comm):
+    """data-dependent branches over collectives are not rank tests."""
+    work = True
+    if work:
+        yield from comm.barrier()
+    return None

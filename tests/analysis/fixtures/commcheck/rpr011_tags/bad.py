@@ -1,0 +1,14 @@
+"""RPR011 seeds: tags with only one side of the protocol present."""
+
+TAG_ORPHAN_SEND = 7
+TAG_ORPHAN_RECV = 9
+
+
+def producer(comm):
+    yield from comm.set_phase("exchange")
+    yield from comm.send(1, TAG_ORPHAN_SEND, b"payload")
+
+
+def consumer(comm):
+    data, status = yield from comm.recv(0, TAG_ORPHAN_RECV)
+    return data

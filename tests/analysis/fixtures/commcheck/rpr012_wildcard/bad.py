@@ -1,0 +1,28 @@
+"""RPR012 seeds: blocking wildcard receives in loops, unguarded."""
+
+ANY_SOURCE = -1
+TAG_WORK = 3
+TAG_MORE = 4
+
+
+def lexical_loop(comm, n):
+    """wildcard recv in a loop, results order-dependent."""
+    out = []
+    for _ in range(n):
+        data, status = yield from comm.recv(ANY_SOURCE, TAG_WORK)
+        out.append(data)
+    return out
+
+
+def _helper(comm):
+    data, status = yield from comm.recv(ANY_SOURCE, TAG_MORE)
+    return data
+
+
+def interprocedural_loop(comm, n):
+    """the loop is in the caller; the wildcard recv is in a helper."""
+    out = []
+    for _ in range(n):
+        item = yield from _helper(comm)
+        out.append(item)
+    return out

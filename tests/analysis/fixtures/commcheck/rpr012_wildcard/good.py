@@ -1,0 +1,35 @@
+"""RPR012 clean shapes: guarded or source-specific receives."""
+
+ANY_SOURCE = -1
+TAG_WORK = 3
+TAG_MORE = 4
+
+
+def source_keyed(comm, n):
+    """the canonical guard: results keyed by status.source."""
+    out = {}
+    for _ in range(n):
+        data, status = yield from comm.recv(ANY_SOURCE, TAG_WORK)
+        out[status.source] = data
+    return out
+
+
+def specific_source(comm, peers):
+    """deterministic order: receive from each peer explicitly."""
+    out = []
+    for peer in peers:
+        data, status = yield from comm.recv(peer, TAG_MORE)
+        out.append(data)
+    return out
+
+
+def single_shot(comm):
+    """a lone wildcard recv outside any loop can't reorder anything."""
+    data, status = yield from comm.recv(ANY_SOURCE, TAG_WORK)
+    return data
+
+
+def producer(comm, dst):
+    """peer side: the sends that satisfy the receives above."""
+    yield from comm.send(dst, TAG_WORK, b"w")
+    yield from comm.send(dst, TAG_MORE, b"m")

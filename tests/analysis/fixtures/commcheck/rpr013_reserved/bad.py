@@ -1,0 +1,21 @@
+"""RPR013 seeds: reserved-tag forgeries outside the authority."""
+
+MAX_USER_TAG = 10_000_000
+_COLL_TAG_BASE = 100_000_000_000
+_TAG_BARRIER = _COLL_TAG_BASE + 1
+
+
+def forge_symbol(comm):
+    """sending on the barrier's reserved tag hijacks the collective."""
+    yield from comm.send(1, _TAG_BARRIER, None)
+
+
+def forge_literal(comm):
+    """a literal at the reserved base is just as bad."""
+    data, status = yield from comm.recv(0, 100_000_000_007)
+    return data
+
+
+def forge_offset(comm):
+    """any value at or above MAX_USER_TAG is out of bounds."""
+    yield from comm.send(1, MAX_USER_TAG + 42, b"x")

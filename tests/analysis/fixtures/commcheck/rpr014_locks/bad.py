@@ -1,0 +1,37 @@
+"""RPR014 seeds: mixed locked/unlocked writes and an ABBA inversion."""
+
+import threading
+
+
+class Counter:
+    """self.total written under _lock in one method, bare in another."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def safe_add(self, n):
+        with self._lock:
+            self.total += n
+
+    def unsafe_add(self, n):
+        self.total += n
+
+
+class Transfer:
+    """accounts locked in opposite orders on the two directions."""
+
+    def __init__(self):
+        self._src_lock = threading.Lock()
+        self._dst_lock = threading.Lock()
+        self.moved = 0
+
+    def forward(self, n):
+        with self._src_lock:
+            with self._dst_lock:
+                self.moved += n
+
+    def backward(self, n):
+        with self._dst_lock:
+            with self._src_lock:
+                self.moved -= n

@@ -1,0 +1,47 @@
+"""RPR014 clean shapes: consistent locking and lock order."""
+
+import threading
+
+
+class Counter:
+    """every post-init write to total holds _lock; init is exempt."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+    def reset(self):
+        with self._lock:
+            self.total = 0
+
+    def _bump(self):
+        # called only under _lock; lock-held propagation keeps this
+        # write locked even though no `with` appears lexically here
+        self.total += 1
+
+    def tick(self):
+        with self._lock:
+            self._bump()
+
+
+class Transfer:
+    """both directions acquire src before dst — no inversion."""
+
+    def __init__(self):
+        self._src_lock = threading.Lock()
+        self._dst_lock = threading.Lock()
+        self.moved = 0
+
+    def forward(self, n):
+        with self._src_lock:
+            with self._dst_lock:
+                self.moved += n
+
+    def backward(self, n):
+        with self._src_lock:
+            with self._dst_lock:
+                self.moved -= n

@@ -1,0 +1,29 @@
+"""RPR015 seeds: blocking calls made while holding a lock."""
+
+import threading
+import time
+
+
+class Spooler:
+    def __init__(self, conn):
+        self._lock = threading.Lock()
+        self._conn = conn
+        self.pending = []
+
+    def push(self, frame):
+        """pipe write under the lock: every producer stalls behind it."""
+        with self._lock:
+            self._conn.send_bytes(frame)
+
+    def nap(self):
+        """sleeping under a lock is a throughput cliff."""
+        with self._lock:
+            time.sleep(0.1)
+
+    def _write_disk(self, path, data):
+        path.write_bytes(data)
+
+    def flush(self, path, data):
+        """the I/O hides one call deep — caught interprocedurally."""
+        with self._lock:
+            self._write_disk(path, data)

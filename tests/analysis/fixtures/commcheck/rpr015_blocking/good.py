@@ -1,0 +1,29 @@
+"""RPR015 clean shapes: I/O outside locks, cv.wait on the held cv."""
+
+import threading
+
+
+class Spooler:
+    def __init__(self, conn):
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._conn = conn
+        self.pending = []
+
+    def push(self, frame):
+        """stage under the lock, write after releasing it."""
+        with self._lock:
+            self.pending.append(frame)
+        self._conn.send_bytes(frame)
+
+    def drain(self):
+        """waiting on the held condition releases the lock — exempt."""
+        with self._cv:
+            while self.pending:
+                self._cv.wait(timeout=1.0)
+            return list(self.pending)
+
+    def flush(self, path, data):
+        with self._lock:
+            staged = bytes(self.pending[-1]) if self.pending else data
+        path.write_bytes(staged)

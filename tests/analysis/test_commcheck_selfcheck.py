@@ -1,0 +1,119 @@
+"""Self-check: ``repro check src/repro`` is clean against the baseline.
+
+This is the same invariant CI enforces — the real tree must produce no
+findings beyond the committed, justified baseline, the baseline must
+contain no stale entries, and the defects the analyzer originally
+surfaced (disk I/O under the result-cache lock) must stay fixed.
+"""
+
+from pathlib import Path
+
+from repro.analysis.commcheck import (
+    load_baseline,
+    run_check,
+    run_check_with_baseline_file,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+BASELINE = REPO / "analysis-baseline.json"
+
+
+class TestSelfCheck:
+    def test_src_repro_clean_against_baseline(self):
+        report = run_check_with_baseline_file(
+            [REPO / "src" / "repro"],
+            root=REPO,
+            baseline_path=BASELINE,
+        )
+        assert report.ok, "\n".join(f.format() for f in report.findings)
+
+    def test_baseline_has_no_stale_entries(self):
+        report = run_check_with_baseline_file(
+            [REPO / "src" / "repro"],
+            root=REPO,
+            baseline_path=BASELINE,
+        )
+        stale = [e.describe() for e in report.stale_baseline]
+        assert not stale, f"stale baseline entries: {stale}"
+
+    def test_baseline_entries_are_justified(self):
+        for entry in load_baseline(BASELINE):
+            assert len(entry.justification) > 20, entry.describe()
+
+    def test_summary_covers_known_protocols(self):
+        report = run_check_with_baseline_file(
+            [REPO / "src" / "repro"], root=REPO, baseline_path=BASELINE
+        )
+        rels = {s.func.module.rel for s in report.summary.sites}
+        assert any("machine/simmpi" in r for r in rels)
+        assert any("connectivity" in r for r in rels)
+        assert any("solver" in r for r in rels)
+
+
+class TestCacheRegression:
+    """PR regression: ResultCache held its lock across disk I/O."""
+
+    def test_cache_has_no_blocking_under_lock(self):
+        report = run_check(
+            [REPO / "src" / "repro" / "serve" / "cache.py"],
+            root=REPO,
+            select=["RPR015"],
+        )
+        assert report.ok, "\n".join(f.format() for f in report.findings)
+
+    def test_cache_lock_discipline_still_consistent(self):
+        # counters and the LRU map must stay consistently locked after
+        # the fix (the _insert lock-held propagation keeps this green)
+        report = run_check(
+            [REPO / "src" / "repro" / "serve" / "cache.py"],
+            root=REPO,
+            select=["RPR014"],
+        )
+        assert report.ok, "\n".join(f.format() for f in report.findings)
+
+    def test_spill_write_happens_outside_lock(self, tmp_path):
+        # behavioral guard: a put() staged to disk must not leave temp
+        # litter and must keep tiers consistent
+        from repro.serve.cache import ResultCache
+
+        cache = ResultCache(directory=tmp_path, max_entries=4)
+        cache.put("a" * 8, b"payload-a")
+        assert cache.get("a" * 8) == b"payload-a"
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_concurrent_puts_same_sha_agree(self, tmp_path):
+        import threading
+
+        from repro.serve.cache import ResultCache
+
+        cache = ResultCache(directory=tmp_path, max_entries=8)
+        start = threading.Barrier(4)
+
+        def worker():
+            start.wait()
+            for _ in range(25):
+                cache.put("s" * 8, b"identical-bytes")
+                assert cache.get("s" * 8) == b"identical-bytes"
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.get("s" * 8) == b"identical-bytes"
+        assert (tmp_path / ("s" * 8 + ".json")).read_bytes() == (
+            b"identical-bytes"
+        )
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_spilled_get_reads_outside_then_inserts(self, tmp_path):
+        from repro.serve.cache import ResultCache
+
+        warm = ResultCache(directory=tmp_path)
+        warm.put("x" * 8, b"spilled")
+        cold = ResultCache(directory=tmp_path)
+        assert cold.get("x" * 8) == b"spilled"
+        stats = cold.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 0

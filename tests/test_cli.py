@@ -186,6 +186,125 @@ class TestLintCommand:
         assert rc == 0
 
 
+class TestCheckCommand:
+    BAD = (
+        "def p(comm):\n"
+        "    if comm.rank == 0:\n"
+        "        yield from comm.barrier()\n"
+    )
+
+    def test_check_clean_file_exits_zero(self, capsys, tmp_path):
+        f = tmp_path / "clean.py"
+        f.write_text("def p(comm):\n    yield from comm.barrier()\n")
+        rc = main(["check", str(f), "--no-baseline"])
+        assert rc == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_check_finding_exits_one(self, capsys, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(self.BAD)
+        rc = main(["check", str(f), "--no-baseline"])
+        assert rc == 1
+        assert "RPR010" in capsys.readouterr().out
+
+    def test_check_json_output(self, capsys, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(self.BAD)
+        rc = main(["check", str(f), "--no-baseline", "--json"])
+        assert rc == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        assert data["counts"] == {"RPR010": 1}
+
+    def test_check_select(self, capsys, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(self.BAD)
+        rc = main(["check", str(f), "--no-baseline", "--select", "RPR015"])
+        assert rc == 0
+
+    def test_check_unknown_select_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown rule code"):
+            main(["check", str(tmp_path), "--select", "RPR999"])
+
+    def test_check_rules_catalog(self, capsys):
+        rc = main(["check", "--rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for code in ("RPR010", "RPR015"):
+            assert code in out
+        assert "RPR001" not in out  # per-file lint rules stay separate
+
+    def test_check_baseline_waives_and_stale_fails(self, capsys, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(self.BAD)
+        bl = tmp_path / "bl.json"
+        bl.write_text(json.dumps({
+            "entries": [
+                {"code": "RPR010", "path": "bad.py",
+                 "justification": "fixture: documented"},
+            ],
+        }))
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            rc = main(["check", "bad.py", "--baseline", str(bl)])
+            assert rc == 0
+            assert "1 waived by baseline" in capsys.readouterr().out
+            # fix the defect -> entry goes stale -> --baseline-check fails
+            f.write_text("def p(comm):\n    yield from comm.barrier()\n")
+            rc = main(["check", "bad.py", "--baseline", str(bl)])
+            assert rc == 0  # stale alone does not fail a normal run
+            assert "stale baseline entry" in capsys.readouterr().out
+            rc = main([
+                "check", "bad.py", "--baseline", str(bl),
+                "--baseline-check",
+            ])
+            assert rc == 1
+        finally:
+            os.chdir(cwd)
+
+    def test_check_sarif_file_output(self, capsys, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text(self.BAD)
+        out_file = tmp_path / "out.sarif"
+        rc = main([
+            "check", str(f), "--no-baseline", "--sarif", str(out_file),
+        ])
+        assert rc == 1
+        doc = json.loads(out_file.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RPR010"
+
+    def test_check_summary_flag(self, capsys, tmp_path):
+        f = tmp_path / "prog.py"
+        f.write_text(
+            "TAG_X = 5\n"
+            "def p(comm):\n"
+            "    yield from comm.send(1, TAG_X, b'')\n"
+            "    d, s = yield from comm.recv(0, TAG_X)\n"
+        )
+        rc = main(["check", str(f), "--no-baseline", "--summary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "communication summary:" in out
+        assert "send:send tag=TAG_X (= 5)" in out
+
+    def test_check_repo_clean_against_committed_baseline(self, capsys):
+        import os
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[1]
+        cwd = os.getcwd()
+        os.chdir(repo)
+        try:
+            rc = main(["check", "src/repro", "--baseline-check"])
+        finally:
+            os.chdir(cwd)
+        assert rc == 0
+
+
 class TestSanitize:
     def test_run_sanitized_clean(self, capsys):
         rc = main([
