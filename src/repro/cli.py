@@ -10,6 +10,9 @@ Usage (installed as ``python -m repro``):
     python -m repro resume ckpts
     python -m repro sweep store --machine sp2 --nodes 16,28,52 --scale 0.1
     python -m repro trace airfoil --nodes 8 --scale 0.1 --steps 4
+    python -m repro trace airfoil --trace-store /tmp/st --trends
+    python -m repro run x38 --backend mp --trace-store /tmp/st
+    python -m repro top /tmp/st --once
     python -m repro physics --scale 0.05 --steps 20
     python -m repro lint src tests
     python -m repro run x38 --sanitize
@@ -191,6 +194,23 @@ def _print_run(r, measured: bool = False) -> None:
         )
 
 
+def _store_tracer(args, case: str, component: str):
+    """Build the streaming StoreTracer for ``--trace-store`` (or None)."""
+    target = getattr(args, "trace_store", None)
+    if not target:
+        return None
+    from repro.obs.store import StoreTracer
+
+    try:
+        return StoreTracer(
+            target,
+            meta={"case": case, "component": component},
+            fresh=True,
+        )
+    except FileExistsError as exc:
+        raise SystemExit(str(exc))
+
+
 def cmd_run(args) -> int:
     machine = _machine(args.machine, args.nodes)
     engine = _backend(args)
@@ -202,18 +222,31 @@ def cmd_run(args) -> int:
         f"f0={'inf' if math.isinf(args.f0) else args.f0}, "
         f"backend={engine.name}"
     )
-    san = _make_sanitizer(args)
+    tracer = _store_tracer(args, case, "run")
+    san = _make_sanitizer(args, tracer=tracer)
     try:
         try:
             driver = OverflowD1(
-                cfg, sanitizer=san, backend=engine, **_resilience_kwargs(args)
+                cfg,
+                tracer=tracer,
+                sanitizer=san,
+                backend=engine,
+                **_resilience_kwargs(args),
             )
         except ValueError as exc:
             raise SystemExit(str(exc))
         r = driver.run()
     finally:
         engine.close()
+        if tracer is not None:
+            tracer.close()
     _print_run(r, measured=engine.measured)
+    if tracer is not None:
+        print(
+            f"trace store: {tracer.directory} ({tracer.records} records, "
+            f"{tracer.nranks} ranks; watch with 'repro top "
+            f"{tracer.directory}')"
+        )
     return _finish_sanitizer(san)
 
 
@@ -274,12 +307,19 @@ def cmd_trace(args) -> int:
     engine = _backend(args)
     case = _case_name(args)
     cfg = _case(case, machine, args.scale, args.steps, args.f0)
+    out_dir = Path(args.out)
+    # --trends needs per-step rollups, which come from the segment
+    # store's index; default its location under the output directory.
+    if args.trends and not args.trace_store:
+        args.trace_store = str(out_dir / f"store_{case}")
+    store = _store_tracer(args, case, "trace")
     print(
         f"{cfg.name}: {cfg.total_gridpoints} points, {len(cfg.grids)} "
-        f"grids, {machine.name} x {machine.nodes} nodes, tracing enabled, "
+        f"grids, {machine.name} x {machine.nodes} nodes, tracing enabled "
+        f"({'streaming store' if store else 'in-memory'}), "
         f"backend={engine.name}"
     )
-    tracer = SpanTracer()
+    tracer = store if store is not None else SpanTracer()
     san = _make_sanitizer(args, tracer=tracer)
     try:
         try:
@@ -295,10 +335,21 @@ def cmd_trace(args) -> int:
         run = driver.run()
     finally:
         engine.close()
+        if store is not None:
+            store.close()
+
+    steps = []
+    if store is not None:
+        # Reconstruct the exact in-memory view from the stream; the
+        # exporters below consume it unchanged (and byte-identically).
+        from repro.obs.store import StoreReader
+
+        reader = StoreReader(store.directory)
+        tracer = reader.to_tracer()
+        steps = reader.steps
 
     rollup = run.rollup()
     igbp = run.igbp_rollup()
-    out_dir = Path(args.out)
     trace_path = write_chrome_trace(tracer, out_dir / f"trace_{case}.json")
     csv_path = write_rollup_csv(
         rollup, out_dir / f"trace_{case}_rollup.csv"
@@ -320,6 +371,27 @@ def cmd_trace(args) -> int:
         print(ascii_timeline(tracer, width=args.width))
     print(f"\nwrote {trace_path}  (load in chrome://tracing or Perfetto)")
     print(f"wrote {csv_path}")
+    if store is not None:
+        print(
+            f"trace store: {store.directory} ({store.records} records; "
+            f"watch live with 'repro top {store.directory}')"
+        )
+    if args.trends:
+        from repro.obs.perf.trends import (
+            step_series,
+            trend_chart,
+            write_trend_csv,
+        )
+
+        if not steps:
+            print("trends: no per-step rollups in the store index")
+        else:
+            print()
+            print(trend_chart(step_series(steps), width=args.width))
+            trends_path = write_trend_csv(
+                steps, out_dir / f"trace_{case}_trends.csv"
+            )
+            print(f"\nwrote {trends_path}")
     return _finish_sanitizer(san)
 
 
@@ -382,6 +454,11 @@ def cmd_bench(args) -> int:
             # One micro-bench per invocation is plenty.
             microbench=not args.no_microbench and i == 0,
             backend=engine.name,
+            trace_store=(
+                str(Path(args.trace_store) / case)
+                if args.trace_store
+                else None
+            ),
         )
         sim = payload["simulated"]
         print(
@@ -429,6 +506,12 @@ def cmd_bench(args) -> int:
         if not sim["sanitizer"]["ok"]:
             print(f"  sanitizer: FINDINGS {sim['sanitizer']['counts']}")
             exit_code = 1
+        trend = sim.get("trend", {})
+        if trend.get("steps"):
+            print(
+                f"  trend: {trend['steps']} step(s), "
+                f"max imbalance {trend['imbalance_max']:.3f}"
+            )
         print(f"  wrote {path}")
         if args.compare:
             from repro.obs.perf import diff_files
@@ -556,12 +639,30 @@ def cmd_serve(args) -> int:
     reason = pool_available()
     if reason is not None:
         raise SystemExit(f"repro serve unavailable: {reason}")
+    tracer = None
+    if args.trace_store:
+        from repro.obs.store import StoreTracer
+
+        try:
+            # Dispatcher threads record concurrently and jobs are not
+            # solver steps, so flush by record count to keep a live
+            # `repro top` current.
+            tracer = StoreTracer(
+                args.trace_store,
+                meta={"component": "serve", "workers": args.workers},
+                fresh=True,
+                flush_every=20,
+            )
+        except FileExistsError as exc:
+            raise SystemExit(str(exc))
+        tracer.clock = "wall"
     server = ReproServer(
         args.socket,
         workers=args.workers,
         cache_dir=args.cache_dir,
         job_timeout=args.job_timeout,
         max_retries=args.max_retries,
+        tracer=tracer,
     )
 
     import threading
@@ -595,6 +696,13 @@ def cmd_serve(args) -> int:
         server._accept_thread.join(timeout=0.5)
     for t in drainers:
         t.join()
+    if tracer is not None:
+        tracer.close()
+        print(
+            f"repro serve: trace store closed ({tracer.records} records "
+            f"in {args.trace_store})",
+            file=sys.stderr,
+        )
     print("repro serve: stopped", file=sys.stderr)
     return 0
 
@@ -712,6 +820,38 @@ def cmd_jobs(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    from repro.obs.store import load_index
+    from repro.obs.store.top import run_top
+
+    store = Path(args.store)
+    if not store.is_dir() and not args.wait:
+        raise SystemExit(
+            f"no trace store at {store} (start a producer with "
+            f"--trace-store, or pass --wait to poll for one)"
+        )
+    if args.wait:
+        import time as _time
+
+        deadline = _time.monotonic() + args.wait
+        while not store.is_dir() or (
+            load_index(store) is None
+            and not any(store.glob("shard-*.seg"))
+        ):
+            if _time.monotonic() >= deadline:
+                raise SystemExit(
+                    f"no trace store appeared at {store} within "
+                    f"{args.wait:.0f}s"
+                )
+            _time.sleep(0.1)
+    return run_top(
+        store,
+        interval=args.interval,
+        once=args.once,
+        width=args.width,
+    )
+
+
 def cmd_node(args) -> int:
     from repro.cluster.node import NodeDaemon
     from repro.cluster.protocol import ClusterProtocolError, parse_hostport
@@ -769,6 +909,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(default 2, spawned on localhost)",
         )
 
+    def trace_store_opt(sp):
+        sp.add_argument(
+            "--trace-store", metavar="DIR",
+            help="stream trace events to a sharded segment store at DIR "
+            "(append-only per-rank segments + index; O(segment) memory; "
+            "tail it live with 'repro top DIR')",
+        )
+
     def sanitize(sp):
         sp.add_argument(
             "--sanitize", action="store_true",
@@ -798,6 +946,7 @@ def build_parser() -> argparse.ArgumentParser:
     resilience(run)
     sanitize(run)
     backend_opt(run)
+    trace_store_opt(run)
     run.set_defaults(fn=cmd_run)
 
     resume = sub.add_parser(
@@ -833,6 +982,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ASCII timeline width in characters")
     trace.add_argument("--no-timeline", action="store_true",
                        help="skip the ASCII timeline")
+    trace_store_opt(trace)
+    trace.add_argument(
+        "--trends", action="store_true",
+        help="per-step trend analytics from the store index: ASCII "
+        "phase-time and imbalance plots + a trends CSV (implies a "
+        "segment store under --out when --trace-store is not given)",
+    )
     trace.set_defaults(fn=cmd_trace)
 
     bench = sub.add_parser(
@@ -873,6 +1029,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--tolerance", type=float, default=0.02,
         help="relative tolerance for --compare (default 2%%)",
+    )
+    bench.add_argument(
+        "--trace-store", metavar="DIR",
+        help="keep each case's final-repeat segment store under "
+        "DIR/<case> (default: a temporary directory, discarded)",
     )
     bench.set_defaults(fn=cmd_bench)
 
@@ -993,6 +1154,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=2,
         help="retries after a worker crash (default 2)",
     )
+    trace_store_opt(serve)
     serve.set_defaults(fn=cmd_serve)
 
     submit = sub.add_parser(
@@ -1032,6 +1194,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the job list as JSON"
     )
     jobs.set_defaults(fn=cmd_jobs)
+
+    top = sub.add_parser(
+        "top",
+        help="live view of a running traced job: per-rank phase "
+        "occupancy, f(p) imbalance and hot comm edges, tailed from a "
+        "segment store",
+    )
+    top.add_argument("store", help="trace-store directory to tail")
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh interval in seconds (default 1.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single snapshot of what is durable now and exit",
+    )
+    top.add_argument(
+        "--width", type=int, default=80,
+        help="render width in characters (default 80)",
+    )
+    top.add_argument(
+        "--wait", type=float, default=0.0, metavar="S",
+        help="wait up to S seconds for the store to appear "
+        "(for racing a freshly launched job)",
+    )
+    top.set_defaults(fn=cmd_top)
 
     node = sub.add_parser(
         "node",

@@ -20,7 +20,12 @@ produces those series from the simulated machine:
   timeline rendered through :mod:`repro.core.ascii_plot`;
 * :mod:`perf` — the performance observatory: critical-path and
   comm-matrix analytics over recorded traces, the ``repro bench``
-  canonical-JSON harness and the ``repro trace-diff`` regression gate.
+  canonical-JSON harness and the ``repro trace-diff`` regression gate;
+* :mod:`store` — the streaming, sharded trace store
+  (:class:`StoreTracer` writing append-only per-rank segment files
+  with an index, :func:`load_store` reconstructing the exact
+  SpanTracer view) that lifts the in-memory cap on run length and
+  feeds the live ``repro top`` view.
 
 See ``docs/observability.md`` for the schema and reading guide.
 """
@@ -34,11 +39,16 @@ from repro.obs.export import (
     write_chrome_trace,
     write_rollup_csv,
 )
+from repro.obs.store import StoreReader, StoreTracer, TailReader, load_store
 
 __all__ = [
     "Tracer",
     "NullTracer",
     "SpanTracer",
+    "StoreTracer",
+    "StoreReader",
+    "TailReader",
+    "load_store",
     "PhaseCell",
     "PhaseRollup",
     "IgbpRollup",

@@ -18,7 +18,10 @@ subpackage turns the raw event streams of
   micro-benchmark for the scheduler's batched sanitizer hooks;
 * :mod:`diff` — ``repro trace-diff``: classifies per-phase/per-metric
   deltas between two BENCH payloads with a tolerance, for the CI
-  perf-regression gate.
+  perf-regression gate;
+* :mod:`trends` — per-step series from the segment-store index
+  (phase seconds, busy/wait, f(p) imbalance) as ASCII charts, CSV,
+  and the deterministic ``trend`` block of a BENCH payload.
 
 See ``docs/observability.md`` for the BENCH JSON schema.
 """
@@ -35,6 +38,13 @@ from repro.obs.perf.bench import (
     write_bench,
 )
 from repro.obs.perf.diff import DiffReport, diff_bench, diff_files
+from repro.obs.perf.trends import (
+    step_series,
+    trend_block,
+    trend_chart,
+    trend_csv,
+    write_trend_csv,
+)
 
 __all__ = [
     "CommMatrix",
@@ -50,4 +60,9 @@ __all__ = [
     "DiffReport",
     "diff_bench",
     "diff_files",
+    "step_series",
+    "trend_block",
+    "trend_chart",
+    "trend_csv",
+    "write_trend_csv",
 ]

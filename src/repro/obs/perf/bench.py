@@ -49,7 +49,9 @@ __all__ = [
 
 #: Version tag of the BENCH payload layout.  Bump on breaking changes;
 #: ``trace-diff`` refuses to compare payloads across schema versions.
-BENCH_SCHEMA = "repro-bench/1"
+#: v2: the final repeat runs through the streaming segment store and
+#: the ``simulated`` section gains a per-step ``trend`` block.
+BENCH_SCHEMA = "repro-bench/2"
 
 
 @dataclass(frozen=True)
@@ -320,13 +322,19 @@ def bench_payload(
     repeats: int = 3,
     microbench: bool = True,
     backend: str = "sim",
+    trace_store: str | Path | None = None,
 ) -> dict:
     """Run one bench case; returns the full BENCH payload dict.
 
     ``repeats`` runs measure wall time (median reported); every repeat
     must produce the identical simulated elapsed time or a
-    ``RuntimeError`` flags the determinism violation.  Analytics come
-    from the final repeat's trace.
+    ``RuntimeError`` flags the determinism violation.  The final repeat
+    streams its events through the segment store
+    (:mod:`repro.obs.store`) — to ``trace_store`` if given, else a
+    temporary directory — and the analytics (critical path, comm
+    matrix, per-step ``trend`` block) come from the store-reconstructed
+    view, which is byte-identical to the in-memory tracer by
+    construction.
 
     ``backend`` selects an *additional* measured pass: the canonical
     ``simulated`` section always comes from the ``sim`` backend (it is
@@ -335,11 +343,15 @@ def bench_payload(
     Mflops/node and %DCF3D under ``host["measured"]`` — including an
     ``igbp_matches_simulated`` physics cross-check.
     """
+    import tempfile
+
     from repro.analysis import Sanitizer
     from repro.core import OverflowD1
     from repro.obs import SpanTracer
     from repro.obs.perf.comm_matrix import CommMatrix
     from repro.obs.perf.critical_path import analyze_critical_path
+    from repro.obs.perf.trends import trend_block
+    from repro.obs.store import StoreReader, StoreTracer
 
     try:
         spec = BENCH_CASES[case]
@@ -352,23 +364,47 @@ def bench_payload(
 
     walls: list[float] = []
     elapsed_seen: set[float] = set()
-    tracer = sanitizer = run = None
+    sanitizer = run = None
     config_dict: dict[str, Any] = {}
-    for _ in range(repeats):
-        cfg, config_dict = _build_config(spec, quick)
-        tracer = SpanTracer()
-        sanitizer = Sanitizer(tracer=tracer)
-        t0 = time.perf_counter()
-        run = OverflowD1(cfg, tracer=tracer, sanitizer=sanitizer).run()
-        walls.append(time.perf_counter() - t0)
-        elapsed_seen.add(run.elapsed)
-    # repeats >= 1 was validated above, so the loop body ran.
-    assert tracer is not None and sanitizer is not None and run is not None
-    if len(elapsed_seen) != 1:  # pragma: no cover - determinism guard
-        raise RuntimeError(
-            f"simulated elapsed time varied across repeats: "
-            f"{sorted(elapsed_seen)}"
-        )
+    tmp_store = None
+    if trace_store is None:
+        tmp_store = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+        store_dir = Path(tmp_store.name)
+    else:
+        store_dir = Path(trace_store)
+    try:
+        for i in range(repeats):
+            cfg, config_dict = _build_config(spec, quick)
+            final = i == repeats - 1
+            tracer: Any = (
+                StoreTracer(
+                    store_dir,
+                    meta={"case": case, "component": "bench"},
+                    fresh=True,
+                )
+                if final
+                else SpanTracer()
+            )
+            sanitizer = Sanitizer(tracer=tracer)
+            t0 = time.perf_counter()
+            run = OverflowD1(cfg, tracer=tracer, sanitizer=sanitizer).run()
+            walls.append(time.perf_counter() - t0)
+            elapsed_seen.add(run.elapsed)
+            if final:
+                tracer.close()
+        # repeats >= 1 was validated above, so the loop body ran.
+        assert sanitizer is not None and run is not None
+        if len(elapsed_seen) != 1:  # pragma: no cover - determinism guard
+            raise RuntimeError(
+                f"simulated elapsed time varied across repeats: "
+                f"{sorted(elapsed_seen)}"
+            )
+        reader = StoreReader(store_dir)
+        tracer = reader.to_tracer()
+        trend = trend_block(reader.steps)
+    finally:
+        if tmp_store is not None:
+            tmp_store.cleanup()
 
     rollup = run.rollup()
     igbp = run.igbp_rollup()
@@ -392,6 +428,7 @@ def bench_payload(
         },
         "critical_path": cp.to_dict(),
         "comm": comm.to_dict(top_k=5),
+        "trend": trend,
         "sanitizer": {
             "ok": san_report.ok,
             "counts": san_report.counts(),
@@ -501,6 +538,7 @@ def run_bench(
     repeats: int = 3,
     microbench: bool = True,
     backend: str = "sim",
+    trace_store: str | Path | None = None,
 ) -> tuple[dict, Path]:
     """Run one case and persist its payload; returns (payload, path)."""
     payload = bench_payload(
@@ -509,5 +547,6 @@ def run_bench(
         repeats=repeats,
         microbench=microbench,
         backend=backend,
+        trace_store=trace_store,
     )
     return payload, write_bench(payload, out_dir)

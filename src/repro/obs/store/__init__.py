@@ -1,0 +1,57 @@
+"""Streaming, sharded trace store (append-only segments + index).
+
+The scalable successor to buffering every event in
+:class:`repro.obs.tracer.SpanTracer`: :class:`StoreTracer` streams
+events to per-rank segment files with bounded memory, and
+:func:`load_store` reconstructs the exact in-memory view for the
+existing exporters and analyzers.  See ``docs/observability.md`` for
+the on-disk format.
+"""
+
+from repro.obs.store.codec import (
+    KIND_MARK,
+    KIND_OP,
+    KIND_PHASE,
+    KIND_RECV,
+    KIND_SEND,
+    StoreCodecError,
+)
+from repro.obs.store.reader import (
+    StoreReader,
+    TailReader,
+    load_index,
+    load_store,
+)
+from repro.obs.store.segment import (
+    SegmentWriter,
+    StoreCorruptionError,
+    iter_segment_records,
+    shard_segments,
+)
+from repro.obs.store.writer import (
+    DRIVER_SHARD,
+    INDEX_NAME,
+    STORE_FORMAT,
+    StoreTracer,
+)
+
+__all__ = [
+    "DRIVER_SHARD",
+    "INDEX_NAME",
+    "KIND_MARK",
+    "KIND_OP",
+    "KIND_PHASE",
+    "KIND_RECV",
+    "KIND_SEND",
+    "STORE_FORMAT",
+    "SegmentWriter",
+    "StoreCodecError",
+    "StoreCorruptionError",
+    "StoreReader",
+    "StoreTracer",
+    "TailReader",
+    "iter_segment_records",
+    "load_index",
+    "load_store",
+    "shard_segments",
+]

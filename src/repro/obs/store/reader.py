@@ -1,0 +1,197 @@
+"""Readers for the sharded segment store.
+
+Three consumers, three shapes:
+
+:func:`load_store`
+    Reconstruct the exact :class:`~repro.obs.tracer.SpanTracer` view of
+    a finished store — merge every shard by global sequence number and
+    replay into a fresh tracer.  Everything downstream (Chrome-trace
+    exporter, rollup CSV, critical path, ``repro trace-diff``) consumes
+    the result unchanged and byte-identically to the in-memory path.
+
+:class:`StoreReader`
+    Lazy k-way merge over the shards (O(shards) memory) plus access to
+    the index.  Works with or without ``index.json``: segments are
+    self-describing, so a store whose writer crashed before its first
+    index flush still reads back everything durably flushed.
+
+:class:`TailReader`
+    Incremental tailing of a store that is **still being written** —
+    the feed for ``repro top``.  Each :meth:`~TailReader.poll` returns
+    records that became durable since the previous poll, tolerating
+    in-flight partial frames (retried next poll) and newly appearing
+    segment files.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.store.codec import (
+    KIND_MARK,
+    KIND_OP,
+    KIND_PHASE,
+    KIND_RECV,
+    KIND_SEND,
+    read_frame,
+)
+from repro.obs.store.codec import decode_record as _decode_record
+from repro.obs.store.segment import (
+    StoreCorruptionError,
+    iter_segment_records,
+    shard_segments,
+)
+from repro.obs.store.writer import INDEX_NAME, STORE_FORMAT
+from repro.obs.tracer import SpanTracer
+
+__all__ = ["StoreReader", "TailReader", "load_store", "load_index"]
+
+#: One decoded record: (seq, kind, fields).
+Record = tuple[int, int, list]
+
+
+def load_index(directory: str | Path) -> dict[str, Any] | None:
+    """Load ``index.json``; ``None`` when absent or unreadable.
+
+    A missing/torn index is not an error — the writer may have crashed
+    before its first flush, and segments carry all the event data.  A
+    *well-formed* index with the wrong format tag raises, because that
+    is a version mismatch, not a crash artefact.
+    """
+    path = Path(directory) / INDEX_NAME
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    fmt = payload.get("format")
+    if fmt != STORE_FORMAT:
+        raise StoreCorruptionError(
+            f"{path}: unsupported store format {fmt!r} "
+            f"(expected {STORE_FORMAT!r})"
+        )
+    return payload
+
+
+class StoreReader:
+    """Read a (finished or crashed) store directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise FileNotFoundError(f"no trace store at {self.directory}")
+        self.index = load_index(self.directory)
+        self.shards = shard_segments(self.directory)
+        if not self.shards and self.index is None:
+            raise FileNotFoundError(
+                f"{self.directory} holds neither segments nor an index"
+            )
+
+    def _iter_shard(self, shard: str) -> Iterator[Record]:
+        paths = self.shards.get(shard, [])
+        for i, path in enumerate(paths):
+            last = i == len(paths) - 1
+            for kind, seq, fields in iter_segment_records(path, last=last):
+                yield seq, kind, fields
+
+    def iter_records(self) -> Iterator[Record]:
+        """All records across shards, merged by global sequence number.
+
+        Per-shard streams are already seq-sorted (the writer's counter
+        is monotone), so this is a lazy k-way heap merge: O(shards)
+        memory however long the trace is.
+        """
+        return heapq.merge(
+            *(self._iter_shard(shard) for shard in self.shards)
+        )
+
+    def to_tracer(self) -> SpanTracer:
+        """Replay the merged stream into an in-memory SpanTracer."""
+        tracer = SpanTracer()
+        if self.index is not None:
+            tracer.clock = self.index.get("clock", "virtual")
+            tracer._offset = float(self.index.get("offset", 0.0))
+        for _seq, kind, fields in self.iter_records():
+            if kind == KIND_OP:
+                tracer.ops.append(tuple(fields))
+            elif kind == KIND_PHASE:
+                tracer.phase_marks.append(tuple(fields))
+            elif kind == KIND_MARK:
+                tracer.marks.append(tuple(fields))
+            elif kind == KIND_SEND:
+                tracer.sends.append(tuple(fields))
+            elif kind == KIND_RECV:
+                tracer.recvs.append(tuple(fields))
+            else:  # pragma: no cover - codec rejects unknown kinds first
+                raise StoreCorruptionError(f"unknown record kind {kind}")
+        return tracer
+
+    @property
+    def steps(self) -> list[dict[str, Any]]:
+        """Per-step index entries (empty when no index was written)."""
+        if self.index is None:
+            return []
+        return list(self.index.get("steps", []))
+
+
+def load_store(directory: str | Path) -> SpanTracer:
+    """Reconstruct the SpanTracer view of a store directory."""
+    return StoreReader(directory).to_tracer()
+
+
+class TailReader:
+    """Incrementally tail a store that may still be growing.
+
+    Keeps one cursor per shard: the segment currently being read and
+    the byte offset of the next frame.  A shard's cursor only advances
+    past a segment once the *next* numbered segment exists (rotation
+    means the previous file is sealed); an incomplete or CRC-failing
+    frame at the current position is treated as in-flight and retried
+    on the next poll.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        # shard -> [segment index, byte offset]
+        self._cursors: dict[str, list[int]] = {}
+
+    def poll(self) -> list[Record]:
+        """Return records that became durable since the last poll."""
+        out: list[Record] = []
+        if not self.directory.is_dir():
+            return out
+        shards = shard_segments(self.directory)
+        for shard, paths in shards.items():
+            by_index = {
+                int(p.name.rsplit("-", 1)[1].split(".")[0]): p for p in paths
+            }
+            cursor = self._cursors.setdefault(shard, [0, 0])
+            while True:
+                path = by_index.get(cursor[0])
+                if path is None:
+                    break
+                buf = path.read_bytes()
+                off = cursor[1]
+                while off < len(buf):
+                    payload, off2 = read_frame(buf, off)
+                    if payload is None:
+                        break  # in-flight tail: retry next poll
+                    kind, seq, fields = _decode_record(payload)
+                    out.append((seq, kind, fields))
+                    off = off2
+                cursor[1] = off
+                # Advance to the next segment only once it exists:
+                # rotation guarantees the current file is sealed then.
+                if cursor[0] + 1 in by_index and off >= len(buf):
+                    cursor[0] += 1
+                    cursor[1] = 0
+                else:
+                    break
+        out.sort()
+        return out
+
+    def index(self) -> dict[str, Any] | None:
+        """Latest index snapshot, if the writer has flushed one."""
+        return load_index(self.directory)

@@ -1,0 +1,283 @@
+"""``repro top``: live terminal view of a streaming trace store.
+
+Tails a store directory that a running job (sim, mp, cluster, or
+serve) is writing through :class:`~repro.obs.store.writer.StoreTracer`
+and renders, per refresh:
+
+* one row per rank — busy/wait seconds, busy fraction, the f(p)-style
+  busy-imbalance factor (max-over-mean busy time, the time analogue of
+  the paper's I(p)/Ibar), the rank's current phase, and a phase
+  occupancy bar;
+* the comm-matrix hot edges (top sender→receiver pairs by bytes);
+* the most recent driver marks (epochs, rebalances, recoveries).
+
+The aggregator is incremental — it consumes only the records that
+became durable since the last poll (O(new records) per refresh, never
+O(trace)) — and entirely deterministic for a given record stream, so
+``--once`` snapshots are testable.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.obs.store.codec import (
+    KIND_MARK,
+    KIND_OP,
+    KIND_PHASE,
+    KIND_RECV,
+    KIND_SEND,
+)
+from repro.obs.store.reader import Record, TailReader
+
+__all__ = ["TopAggregator", "render_top", "run_top"]
+
+#: ANSI clear-screen + home, used between live refreshes.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+class TopAggregator:
+    """Incremental per-rank / per-edge aggregation of a record stream."""
+
+    def __init__(self, recent_marks: int = 4) -> None:
+        self.records = 0
+        self.t_end = 0.0
+        # rank -> {"busy": s, "wait": s, "phase_time": {phase: s},
+        #          "phase": current phase name}
+        self.ranks: dict[int, dict[str, Any]] = {}
+        # (src, dst) -> [messages, bytes]
+        self.edges: dict[tuple[int, int], list[int]] = {}
+        self.marks: deque[tuple[float, str, dict]] = deque(
+            maxlen=recent_marks
+        )
+        self.sends = 0
+        self.recvs = 0
+
+    def _rank(self, rank: int) -> dict[str, Any]:
+        state = self.ranks.get(rank)
+        if state is None:
+            state = {"busy": 0.0, "wait": 0.0, "phase_time": {}, "phase": "-"}
+            self.ranks[rank] = state
+        return state
+
+    def feed(self, records: Iterable[Record]) -> int:
+        """Consume new records; returns how many were consumed."""
+        n = 0
+        for _seq, kind, fields in records:
+            n += 1
+            if kind == KIND_OP:
+                rank, phase, op_kind, t0, t1 = fields[:5]
+                state = self._rank(rank)
+                span = t1 - t0
+                if op_kind == "wait":
+                    state["wait"] += span
+                else:
+                    state["busy"] += span
+                pt = state["phase_time"]
+                pt[phase] = pt.get(phase, 0.0) + span
+                if t1 > self.t_end:
+                    self.t_end = t1
+            elif kind == KIND_PHASE:
+                rank, t, name = fields
+                self._rank(rank)["phase"] = name
+            elif kind == KIND_MARK:
+                t, name, args = fields
+                self.marks.append((t, name, args))
+            elif kind == KIND_SEND:
+                _t, src, dst, _tag, nbytes, _phase = fields
+                edge = self.edges.setdefault((src, dst), [0, 0])
+                edge[0] += 1
+                edge[1] += nbytes
+                self.sends += 1
+            elif kind == KIND_RECV:
+                self.recvs += 1
+        self.records += n
+        return n
+
+    def imbalance(self) -> dict[int, float]:
+        """Per-rank f(p): busy time over the mean busy time."""
+        busies = {r: s["busy"] for r, s in self.ranks.items()}
+        total = sum(busies.values())
+        if not busies or total <= 0:
+            return {r: 1.0 for r in busies}
+        mean = total / len(busies)
+        return {r: b / mean for r, b in busies.items()}
+
+    def hot_edges(self, top_k: int = 5) -> list[tuple[int, int, int, int]]:
+        """Top (src, dst, messages, bytes) edges by bytes (stable order)."""
+        ranked = sorted(
+            self.edges.items(), key=lambda kv: (-kv[1][1], kv[0])
+        )
+        return [
+            (src, dst, msgs, nbytes)
+            for (src, dst), (msgs, nbytes) in ranked[:top_k]
+        ]
+
+
+def _phase_markers(phases: Iterable[str]) -> dict[str, str]:
+    """Unique one-character marker per phase (initial letter preferred)."""
+    markers: dict[str, str] = {}
+    taken: set[str] = set()
+    fallback = "0123456789*#@+%"
+    for name in sorted(phases):
+        char = next(
+            (c.upper() for c in name if c.upper() not in taken), None
+        )
+        if char is None:
+            char = next(c for c in fallback if c not in taken)
+        markers[name] = char
+        taken.add(char)
+    return markers
+
+
+def _bar(
+    phase_time: dict[str, float], markers: dict[str, str], width: int
+) -> str:
+    """Occupancy bar: each phase gets slots proportional to its time."""
+    total = sum(phase_time.values())
+    if total <= 0 or width <= 0:
+        return " " * width
+    bar: list[str] = []
+    for name in sorted(phase_time):
+        slots = int(round(phase_time[name] / total * width))
+        bar.extend(markers[name] * slots)
+    return "".join(bar)[:width].ljust(width)
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return (
+                f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+            )
+        value /= 1024
+    return f"{value:.1f}GB"  # pragma: no cover - unreachable
+
+
+def render_top(
+    agg: TopAggregator,
+    index: dict[str, Any] | None = None,
+    directory: str | Path = "",
+    width: int = 80,
+) -> str:
+    """Render one snapshot of the aggregated state."""
+    lines: list[str] = []
+    step = "-"
+    status = "running"
+    clock = "virtual"
+    if index is not None:
+        clock = index.get("clock", "virtual")
+        steps = index.get("steps", [])
+        if steps:
+            step = str(len(steps) - 1)
+        if index.get("complete"):
+            status = "complete"
+    lines.append(
+        f"repro top — {directory}  [{clock} clock, {agg.records} records, "
+        f"step {step}, {status}]"
+    )
+    lines.append(
+        f"t_end {agg.t_end:.4f}s   sends {agg.sends}   recvs {agg.recvs}"
+    )
+    lines.append("")
+    bar_width = max(10, width - 52)
+    lines.append(
+        f"{'rank':>4} {'busy_s':>9} {'wait_s':>9} {'busy%':>6} {'f(p)':>6} "
+        f"{'phase':<10} occupancy"
+    )
+    fp = agg.imbalance()
+    markers = _phase_markers(
+        {p for s in agg.ranks.values() for p in s["phase_time"]}
+    )
+    for rank in sorted(agg.ranks):
+        state = agg.ranks[rank]
+        total = state["busy"] + state["wait"]
+        busy_pct = 100.0 * state["busy"] / total if total > 0 else 0.0
+        bar = _bar(state["phase_time"], markers, bar_width)
+        lines.append(
+            f"{rank:>4} {state['busy']:>9.3f} {state['wait']:>9.3f} "
+            f"{busy_pct:>5.1f}% {fp.get(rank, 1.0):>6.2f} "
+            f"{state['phase']:<10} [{bar}]"
+        )
+    if not agg.ranks:
+        lines.append("  (no rank activity yet)")
+    if markers:
+        lines.append(
+            "      occupancy: "
+            + "  ".join(f"{mk}={p}" for p, mk in sorted(markers.items()))
+        )
+    edges = agg.hot_edges()
+    if edges:
+        lines.append("")
+        lines.append("hot edges (by bytes):")
+        for src, dst, msgs, nbytes in edges:
+            lines.append(
+                f"  {src:>3} -> {dst:<3} {_fmt_bytes(nbytes):>10} "
+                f"in {msgs} msgs"
+            )
+    if agg.marks:
+        lines.append("")
+        lines.append("recent marks:")
+        for t, name, args in agg.marks:
+            detail = " ".join(f"{k}={v}" for k, v in sorted(args.items()))
+            lines.append(f"  {t:>10.4f}s  {name}" + (f"  {detail}" if detail else ""))
+    return "\n".join(lines)
+
+
+def run_top(
+    directory: str | Path,
+    interval: float = 1.0,
+    once: bool = False,
+    width: int = 80,
+    emit: Callable[[str], None] = print,
+    max_refreshes: int | None = None,
+) -> int:
+    """Tail ``directory`` and render until the store completes.
+
+    ``once`` polls whatever is durable right now, renders a single
+    snapshot, and returns.  In loop mode the screen is cleared between
+    refreshes and the loop ends when the index reports ``complete`` and
+    no further records arrive (or on Ctrl-C).  ``max_refreshes`` bounds
+    the loop for tests.
+    """
+    tail = TailReader(directory)
+    agg = TopAggregator()
+    refreshes = 0
+    try:
+        while True:
+            fresh = tail.poll()
+            agg.feed(fresh)
+            index = tail.index()
+            frame = render_top(
+                agg, index=index, directory=directory, width=width
+            )
+            if once:
+                emit(frame)
+                return 0
+            emit(_CLEAR + frame)
+            refreshes += 1
+            done = (
+                index is not None
+                and index.get("complete")
+                and not fresh
+                and agg.records >= index.get("records", 0)
+            )
+            if done:
+                return 0
+            if max_refreshes is not None and refreshes >= max_refreshes:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        emit("")
+        return 130
+    except BrokenPipeError:
+        # Downstream pager/head closed; silence the interpreter's
+        # shutdown flush of the broken stdout and exit cleanly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

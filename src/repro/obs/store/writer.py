@@ -1,0 +1,404 @@
+"""StoreTracer: the streaming, sharded counterpart of SpanTracer.
+
+Implements the full :class:`repro.obs.tracer.Tracer` API, so every
+producer — the simulated scheduler, the mp/cluster trace-merge path,
+serve's per-job tracer — works unchanged.  Instead of accumulating
+events in Python lists it appends framed binary records to per-rank
+segment files (:mod:`repro.obs.store.segment`): op/phase records go to
+the rank's shard, sends to the source rank's shard, recvs to the
+receiving rank's shard, and rank-less driver marks to the ``driver``
+shard.  Memory is bounded by one flush buffer per shard regardless of
+run length.
+
+Every record carries a **global sequence number** assigned under the
+store lock, so a reader merging the shards by sequence recovers the
+exact order SpanTracer would have recorded — which is what makes the
+reconstructed view (and everything exported from it) byte-identical to
+the in-memory path.
+
+The writer also maintains the **segment index** (``index.json``):
+per-shard segment lists, per-step start offsets, and per-step rollups
+of phase/kind busy time per rank.  Steps are detected from phase
+switches — a rank entering ``step_phase`` (default ``"overflow"``, the
+first phase of every solver step) starts its next step.  The index is
+rewritten atomically on :meth:`flush`, :meth:`advance` and
+:meth:`close`; readers never need it for correctness (segments are
+self-describing) but use it for per-step analytics and trend plots.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.obs.store.codec import (
+    KIND_MARK,
+    KIND_OP,
+    KIND_PHASE,
+    KIND_RECV,
+    KIND_SEND,
+)
+from repro.obs.store.segment import (
+    DEFAULT_FLUSH_BYTES,
+    DEFAULT_SEGMENT_BYTES,
+    SegmentWriter,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = ["StoreTracer", "INDEX_NAME", "STORE_FORMAT", "DRIVER_SHARD"]
+
+#: File name of the segment index inside a store directory.
+INDEX_NAME = "index.json"
+
+#: Format tag written to (and checked from) the index.
+STORE_FORMAT = "repro-trace-store/1"
+
+#: Shard name for rank-less driver marks.
+DRIVER_SHARD = "driver"
+
+#: Default phase name whose entry starts a new solver step.
+DEFAULT_STEP_PHASE = "overflow"
+
+
+class StoreTracer(Tracer):
+    """Streaming tracer writing a sharded segment store.
+
+    Parameters
+    ----------
+    directory:
+        Store directory (created if missing).  With ``fresh=True`` any
+        store-owned files already there (``shard-*.seg``, the index)
+        are removed first; otherwise their presence is an error — a
+        store is append-only within one run, never across runs.
+    segment_bytes / flush_bytes:
+        Rotation size per segment file and flush threshold of the
+        per-shard buffer (see :class:`SegmentWriter`).
+    step_phase:
+        Phase name that opens a new solver step on each rank.
+    meta:
+        Optional JSON-serialisable dict stored verbatim in the index
+        (case name, backend, nranks requested, ...).
+    flush_every:
+        When > 0, flush all shards and rewrite the index every that
+        many records — the knob long-lived producers (``repro serve``)
+        use so a live ``repro top`` sees progress without waiting for
+        an epoch boundary.  0 (default) flushes only on
+        :meth:`advance`, :meth:`flush` and :meth:`close` plus the
+        per-shard byte threshold.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        flush_bytes: int = DEFAULT_FLUSH_BYTES,
+        step_phase: str = DEFAULT_STEP_PHASE,
+        meta: dict[str, Any] | None = None,
+        fresh: bool = False,
+        flush_every: int = 0,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        existing = sorted(
+            p.name
+            for p in self.directory.iterdir()
+            if p.name == INDEX_NAME or p.name.endswith(".seg")
+        )
+        if existing:
+            if not fresh:
+                raise FileExistsError(
+                    f"{self.directory} already holds a trace store "
+                    f"({existing[0]}, ...); use a fresh directory"
+                )
+            for name in existing:
+                (self.directory / name).unlink()
+        self.segment_bytes = segment_bytes
+        self.flush_bytes = flush_bytes
+        self.step_phase = step_phase
+        self.flush_every = flush_every
+        self.meta = dict(meta or {})
+        self.closed = False
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._offset = 0.0
+        self._advances: list[float] = []
+        self._writers: dict[str, SegmentWriter] = {}
+        self._max_rank = -1
+        self._step_of_rank: dict[int, int] = {}
+        self._steps: list[dict[str, Any]] = []
+        self._index_gen = 0
+        self._published_gen = 0
+
+    # -- shard plumbing -------------------------------------------------
+
+    def _writer(self, shard: str) -> SegmentWriter:
+        writer = self._writers.get(shard)
+        if writer is None:
+            writer = SegmentWriter(
+                self.directory,
+                shard,
+                segment_bytes=self.segment_bytes,
+                flush_bytes=self.flush_bytes,
+            )
+            self._writers[shard] = writer
+        return writer
+
+    def _append(
+        self, shard: str, kind: int, fields: tuple
+    ) -> tuple[int, str] | None:
+        """Append one record; returns an index snapshot to publish when
+        the ``flush_every`` cadence fires (caller writes it to disk
+        *after* releasing the lock)."""
+        if self.closed:
+            raise RuntimeError("trace store is closed")
+        writer = self._writer(shard)
+        writer.append(kind, self._seq, fields)
+        self._seq += 1
+        if self.flush_every and self._seq % self.flush_every == 0:
+            for w in self._writers.values():
+                w.flush()
+            return self._snapshot_index(complete=False)
+        return None
+
+    def _saw_rank(self, *ranks: int) -> None:
+        for rank in ranks:
+            if rank > self._max_rank:
+                self._max_rank = rank
+
+    # -- step / rollup accounting ---------------------------------------
+
+    def _step_entry(self, step: int) -> dict[str, Any]:
+        while len(self._steps) <= step:
+            self._steps.append(
+                {
+                    "step": len(self._steps),
+                    "starts": {},
+                    "t0": None,
+                    "t1": None,
+                    "phase_time": {},
+                    "kind_time": {},
+                }
+            )
+        return self._steps[step]
+
+    # -- recording ------------------------------------------------------
+
+    def op(
+        self,
+        rank: int,
+        phase: str,
+        kind: str,
+        t0: float,
+        t1: float,
+        flops: float = 0.0,
+        nbytes: int = 0,
+    ) -> None:
+        off = self._offset
+        with self._lock:
+            self._saw_rank(rank)
+            snapshot = self._append(
+                str(rank),
+                KIND_OP,
+                (rank, phase, kind, t0 + off, t1 + off, flops, nbytes),
+            )
+            step = self._step_of_rank.get(rank, -1)
+            if step >= 0:
+                entry = self._steps[step]
+                span = t1 - t0
+                key = str(rank)
+                for bucket, name in (
+                    (entry["phase_time"], phase),
+                    (entry["kind_time"], kind),
+                ):
+                    per_rank = bucket.setdefault(name, {})
+                    per_rank[key] = per_rank.get(key, 0.0) + span
+                if entry["t0"] is None or t0 + off < entry["t0"]:
+                    entry["t0"] = t0 + off
+                if entry["t1"] is None or t1 + off > entry["t1"]:
+                    entry["t1"] = t1 + off
+        self._publish_index(snapshot)
+
+    def phase(self, rank: int, t: float, name: str) -> None:
+        with self._lock:
+            self._saw_rank(rank)
+            shard = str(rank)
+            if name == self.step_phase:
+                step = self._step_of_rank.get(rank, -1) + 1
+                self._step_of_rank[rank] = step
+                entry = self._step_entry(step)
+                # Offset of the phase record itself, so reading a step
+                # from its start yields the opening phase mark too.
+                seg, byte = self._writer(shard).position()
+                entry["starts"][shard] = [seg, byte]
+            snapshot = self._append(
+                shard, KIND_PHASE, (rank, t + self._offset, name)
+            )
+        self._publish_index(snapshot)
+
+    def mark(self, t: float, name: str, **args: Any) -> None:
+        with self._lock:
+            snapshot = self._append(
+                DRIVER_SHARD, KIND_MARK, (t + self._offset, name, dict(args))
+            )
+        self._publish_index(snapshot)
+
+    def send(
+        self, t: float, src: int, dst: int, tag: int, nbytes: int, phase: str
+    ) -> None:
+        with self._lock:
+            self._saw_rank(src, dst)
+            snapshot = self._append(
+                str(src),
+                KIND_SEND,
+                (t + self._offset, src, dst, tag, nbytes, phase),
+            )
+        self._publish_index(snapshot)
+
+    def recv(
+        self, t: float, rank: int, src: int, tag: int, nbytes: int, phase: str
+    ) -> None:
+        with self._lock:
+            self._saw_rank(rank, src)
+            snapshot = self._append(
+                str(rank),
+                KIND_RECV,
+                (t + self._offset, rank, src, tag, nbytes, phase),
+            )
+        self._publish_index(snapshot)
+
+    # -- epoch plumbing -------------------------------------------------
+
+    @property
+    def offset(self) -> float:
+        return self._offset
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"cannot advance the trace origin by {dt}")
+        with self._lock:
+            self._offset += dt
+            self._advances.append(dt)
+            for writer in self._writers.values():
+                writer.flush()
+            snapshot = self._snapshot_index(complete=False)
+        self._publish_index(snapshot)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush every shard buffer and rewrite the index atomically."""
+        with self._lock:
+            for writer in self._writers.values():
+                writer.flush()
+            snapshot = self._snapshot_index(complete=False)
+        self._publish_index(snapshot)
+
+    def close(self) -> None:
+        """Flush, seal segments, and mark the index complete."""
+        with self._lock:
+            if self.closed:
+                return
+            for writer in self._writers.values():
+                writer.close()
+            snapshot = self._snapshot_index(complete=True)
+            self.closed = True
+        self._publish_index(snapshot)
+
+    def __enter__(self) -> "StoreTracer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        """Number of ranks seen across all five event streams."""
+        return self._max_rank + 1
+
+    @property
+    def records(self) -> int:
+        """Total records appended so far."""
+        return self._seq
+
+    @property
+    def max_buffered_bytes(self) -> int:
+        """High-water mark of any single shard's flush buffer."""
+        with self._lock:
+            return max(
+                (w.max_buffered for w in self._writers.values()), default=0
+            )
+
+    @property
+    def open_segments(self) -> int:
+        """Open segment files right now (at most one per shard)."""
+        with self._lock:
+            return sum(
+                1 for w in self._writers.values() if w._file is not None
+            )
+
+    def index_payload(self, complete: bool) -> dict[str, Any]:
+        return {
+            "format": STORE_FORMAT,
+            "clock": self.clock,
+            "complete": complete,
+            "records": self._seq,
+            "nranks": self.nranks,
+            "offset": self._offset,
+            "advances": list(self._advances),
+            "step_phase": self.step_phase,
+            "steps": self._steps,
+            "shards": {
+                shard: writer.describe()
+                for shard, writer in sorted(self._writers.items())
+            },
+            "meta": self.meta,
+        }
+
+    def _snapshot_index(self, complete: bool) -> tuple[int, str]:
+        """Serialize the index under the lock; caller publishes outside.
+
+        Returns ``(generation, json text)``.  Serialization must happen
+        while the lock is held (the payload reads writer state), but
+        the disk write must not — with ``flush_every`` active every
+        recording thread would otherwise stall behind index I/O.
+        """
+        self._index_gen += 1
+        text = json.dumps(
+            self.index_payload(complete), sort_keys=True, indent=1
+        ) + "\n"
+        return self._index_gen, text
+
+    def _publish_index(self, snapshot: tuple[int, str] | None) -> None:
+        """Atomically install an index snapshot, newest-wins.
+
+        The tmp file is written with no lock held; the cheap rename is
+        gated on the generation so a slow writer can never clobber a
+        newer snapshot (in particular, ``close()``'s ``complete`` index
+        always survives).
+        """
+        if snapshot is None:
+            return
+        gen, text = snapshot
+        tmp = self.directory / f"{INDEX_NAME}.{gen}.tmp"
+        tmp.write_text(text, encoding="utf-8")
+        with self._lock:
+            stale = gen <= self._published_gen
+            if not stale:
+                os.replace(tmp, self.directory / INDEX_NAME)
+                self._published_gen = gen
+        if stale:
+            tmp.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StoreTracer({self.directory}, {self._seq} records, "
+            f"{len(self._writers)} shards)"
+        )

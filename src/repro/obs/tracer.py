@@ -181,11 +181,27 @@ class SpanTracer(Tracer):
 
     @property
     def nranks(self) -> int:
-        """Number of ranks seen (max rank id + 1)."""
-        if not self.ops and not self.phase_marks:
-            return 0
-        ranks = [e[0] for e in self.ops] + [e[0] for e in self.phase_marks]
-        return max(ranks) + 1
+        """Number of ranks seen (max rank id + 1), across all five
+        event streams — a rank black-holed before its first op span
+        still shows up as a send source or destination."""
+        top = -1
+        for e in self.ops:
+            if e[0] > top:
+                top = e[0]
+        for e in self.phase_marks:
+            if e[0] > top:
+                top = e[0]
+        for e in self.sends:  # (t, src, dst, ...)
+            if e[1] > top:
+                top = e[1]
+            if e[2] > top:
+                top = e[2]
+        for e in self.recvs:  # (t, rank, src, ...)
+            if e[1] > top:
+                top = e[1]
+            if e[2] > top:
+                top = e[2]
+        return top + 1
 
     @property
     def t_end(self) -> float:

@@ -11,6 +11,7 @@ portion of exactly one grid.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -28,7 +29,7 @@ class Partition:
     subdomains: tuple[Subdomain, ...]  # indexed by global rank
     balance: StaticBalanceResult | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if len(self.subdomains) != sum(self.procs_per_grid):
             raise ValueError("rank count inconsistent with procs_per_grid")
 
@@ -74,7 +75,7 @@ def build_partition(
     procs_per_grid: list[int] | None = None,
     min_procs_constraints: list[int] | None = None,
     dtau: float = 0.1,
-    exclude_ranks=None,
+    exclude_ranks: Iterable[int] | None = None,
 ) -> Partition:
     """Static load balance + prime-factor decomposition in one call.
 

@@ -124,7 +124,7 @@ class DynamicRebalancer:
     check_interval: int = 5
     max_rebalances: int = 4  # stop churning once the partition settles
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.check_interval < 1:
             raise ValueError("check_interval must be >= 1")
         self.window = IgbpRollup()

@@ -113,7 +113,14 @@ def group_grids(
     return GroupingResult(tuple(group_of), tuple(group_pts))
 
 
-def _assign(grid, m, sizes, group_of, group_pts, members) -> None:
+def _assign(
+    grid: int,
+    m: int,
+    sizes: list[int],
+    group_of: list[int],
+    group_pts: list[int],
+    members: list[set[int]],
+) -> None:
     group_of[grid] = m
     group_pts[m] += sizes[grid]
     members[m].add(grid)

@@ -31,6 +31,7 @@ Notes on fidelity:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 
 @dataclass(frozen=True)
@@ -70,7 +71,7 @@ def static_balance(
     max_tolerance_iters: int = 400,
     max_perturbations: int = 64,
     min_points_constraints: list[int] | None = None,
-    exclude_ranks=None,
+    exclude_ranks: Iterable[int] | None = None,
 ) -> StaticBalanceResult:
     """Run Algorithm 1.
 

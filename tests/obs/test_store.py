@@ -1,0 +1,366 @@
+"""Streaming segment store: codec, segments, writer, reader, recovery.
+
+The contract under test: anything recorded through
+:class:`repro.obs.store.StoreTracer` reads back as the **exact**
+in-memory :class:`SpanTracer` view — same tuples, same global order,
+same exported bytes — while the writer's memory stays bounded by one
+flush buffer per shard, and a crash mid-write costs at most the
+unflushed tail of each shard.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cases import airfoil_case, x38_case
+from repro.core import OverflowD1
+from repro.machine import sp2
+from repro.obs import SpanTracer, ascii_timeline, chrome_trace
+from repro.obs.store import (
+    KIND_OP,
+    STORE_FORMAT,
+    SegmentWriter,
+    StoreCodecError,
+    StoreCorruptionError,
+    StoreReader,
+    StoreTracer,
+    iter_segment_records,
+    load_index,
+    load_store,
+    shard_segments,
+)
+from repro.obs.store.codec import (
+    decode_record,
+    decode_value,
+    encode_record,
+    encode_value,
+    read_frame,
+)
+from repro.obs.store.writer import INDEX_NAME
+
+
+def roundtrip(value):
+    buf = bytearray()
+    encode_value(value, buf)
+    decoded, off = decode_value(bytes(buf), 0)
+    assert off == len(buf)
+    return decoded
+
+
+class TestCodec:
+    def test_scalar_roundtrip_preserves_exact_types(self):
+        for value in (None, True, False, 0, 1, -1, 2**70, -(2**70),
+                      0.0, -0.0, 1.5, 1e300, "", "phase", "päöx", b"",
+                      b"\x00\xff"):
+            got = roundtrip(value)
+            assert got == value
+            assert type(got) is type(value)
+
+    def test_int_float_distinction_survives(self):
+        # json.dumps(100) != json.dumps(100.0): exporters depend on it.
+        assert type(roundtrip(100)) is int
+        assert type(roundtrip(100.0)) is float
+
+    def test_float_bit_exact(self):
+        import math
+        for value in (math.pi, 1e-308, float("inf"), float("-inf")):
+            assert roundtrip(value) == value
+
+    def test_containers(self):
+        value = {"a": [1, 2.5, "x"], "b": {"c": None, "d": [True]}}
+        assert roundtrip(value) == value
+
+    def test_tuples_become_lists(self):
+        assert roundtrip((1, 2)) == [1, 2]
+
+    def test_non_str_dict_key_rejected(self):
+        with pytest.raises(StoreCodecError):
+            roundtrip({1: "x"})
+
+    def test_unstorable_type_rejected(self):
+        with pytest.raises(StoreCodecError):
+            roundtrip(object())
+
+    def test_numpy_scalars_reduce_to_python(self):
+        import numpy as np
+        assert roundtrip(np.int64(7)) == 7
+        assert type(roundtrip(np.int64(7))) is int
+        assert type(roundtrip(np.float64(7.5))) is float
+
+    def test_record_roundtrip(self):
+        rec = encode_record(KIND_OP, 42, (3, "overflow", "compute",
+                                          0.5, 1.5, 100.0, 2048))
+        payload, off = read_frame(rec, 0)
+        assert off == len(rec)
+        kind, seq, fields = decode_record(payload)
+        assert (kind, seq) == (KIND_OP, 42)
+        assert fields == [3, "overflow", "compute", 0.5, 1.5, 100.0, 2048]
+
+    def test_record_field_count_enforced(self):
+        with pytest.raises(StoreCodecError):
+            encode_record(KIND_OP, 0, (1, 2))
+        with pytest.raises(StoreCodecError):
+            encode_record(99, 0, ())
+
+    def test_truncated_and_corrupt_frames_return_none(self):
+        rec = encode_record(KIND_OP, 1, (0, "p", "compute", 0.0, 1.0,
+                                         0.0, 0))
+        # Short header, short payload, CRC flip: all (None, off).
+        for cut in (1, 7, len(rec) - 1):
+            assert read_frame(rec[:cut], 0) == (None, 0)
+        bad = bytearray(rec)
+        bad[-1] ^= 0xFF
+        assert read_frame(bytes(bad), 0) == (None, 0)
+
+
+class TestSegments:
+    def test_rotation_and_discovery(self, tmp_path):
+        w = SegmentWriter(tmp_path, "0", segment_bytes=200, flush_bytes=50)
+        for i in range(40):
+            w.append(KIND_OP, i, (0, "p", "compute", float(i),
+                                  float(i + 1), 0.0, 0))
+        w.close()
+        segs = shard_segments(tmp_path)["0"]
+        assert len(segs) > 1
+        seqs = [seq for p in segs for _, seq, _ in
+                iter_segment_records(p, last=False)]
+        assert seqs == list(range(40))
+        desc = w.describe()
+        assert desc["records"] == 40
+        assert desc["first_seq"] == 0 and desc["last_seq"] == 39
+
+    def test_truncated_tail_dropped_only_on_last_segment(self, tmp_path):
+        w = SegmentWriter(tmp_path, "0", segment_bytes=10**6,
+                          flush_bytes=1)
+        for i in range(5):
+            w.append(KIND_OP, i, (0, "p", "compute", 0.0, 1.0, 0.0, 0))
+        w.close()
+        path = shard_segments(tmp_path)["0"][0]
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-3])  # crash mid-frame
+        got = list(iter_segment_records(path, last=True))
+        assert [seq for _, seq, _ in got] == [0, 1, 2, 3]
+        with pytest.raises(StoreCorruptionError):
+            list(iter_segment_records(path, last=False))
+
+
+def record_script(tracer, nranks=3, steps=4):
+    """Drive one tracer through a deterministic mixed-event script."""
+    t = 0.0
+    for step in range(steps):
+        for phase in ("overflow", "motion", "dcf3d"):
+            for r in range(nranks):
+                tracer.phase(r, t, phase)
+                tracer.op(r, phase, "compute", t, t + 0.5 + r * 0.1,
+                          100.0, 64)
+                tracer.send(t, r, (r + 1) % nranks, 7, 1024, phase)
+                tracer.recv(t + 0.1, (r + 1) % nranks, r, 7, 1024, phase)
+                tracer.op(r, phase, "wait", t + 0.6, t + 0.7, 0.0, 1024)
+            t += 1.0
+        tracer.mark(t, "epoch", step=step)
+    tracer.advance(t)
+    tracer.op(0, "restore", "compute", 0.0, 1.0, 0.0, 5)
+
+
+class TestStoreTracerRoundTrip:
+    def test_exact_spantracer_equality(self, tmp_path):
+        span, store = SpanTracer(), StoreTracer(tmp_path, flush_bytes=64)
+        record_script(span)
+        record_script(store)
+        store.close()
+        got = load_store(tmp_path)
+        assert got.ops == span.ops
+        assert got.phase_marks == span.phase_marks
+        assert got.marks == span.marks
+        assert got.sends == span.sends
+        assert got.recvs == span.recvs
+        assert got.offset == span.offset
+        assert got.nranks == span.nranks
+
+    def test_reader_works_without_index(self, tmp_path):
+        span, store = SpanTracer(), StoreTracer(tmp_path)
+        record_script(span)
+        record_script(store)
+        store.close()
+        (tmp_path / INDEX_NAME).unlink()
+        got = load_store(tmp_path)
+        assert got.ops == span.ops
+        assert got.sends == span.sends
+
+    def test_crash_loses_only_unflushed_tail(self, tmp_path):
+        span, store = SpanTracer(), StoreTracer(tmp_path, flush_bytes=64)
+        record_script(span)
+        record_script(store)
+        store.flush()
+        # Crash: never close(); additionally truncate one shard's last
+        # segment mid-frame and tear the index.
+        shard0 = shard_segments(tmp_path)["0"][-1]
+        blob = shard0.read_bytes()
+        shard0.write_bytes(blob[:-2])
+        (tmp_path / INDEX_NAME).write_text("{ torn")
+        got = load_store(tmp_path)
+        # Everything recovered is a prefix of the true per-shard streams.
+        assert got.ops == [e for e in span.ops if tuple(e) in
+                           {tuple(x) for x in span.ops}][: len(got.ops)]
+        assert 0 < len(got.ops) <= len(span.ops)
+        assert all(e in span.ops for e in got.ops)
+        assert all(e in span.sends for e in got.sends)
+
+    def test_refuses_reuse_without_fresh(self, tmp_path):
+        StoreTracer(tmp_path).close()
+        with pytest.raises(FileExistsError):
+            StoreTracer(tmp_path)
+        StoreTracer(tmp_path, fresh=True).close()
+
+    def test_index_format_mismatch_raises(self, tmp_path):
+        StoreTracer(tmp_path).close()
+        payload = json.loads((tmp_path / INDEX_NAME).read_text())
+        payload["format"] = "repro-trace-store/999"
+        (tmp_path / INDEX_NAME).write_text(json.dumps(payload))
+        with pytest.raises(StoreCorruptionError):
+            load_index(tmp_path)
+
+    def test_thread_safety_under_concurrent_ops(self, tmp_path):
+        # serve's dispatcher threads record concurrently.
+        store = StoreTracer(tmp_path, flush_every=17)
+        def work(worker):
+            for i in range(200):
+                store.op(worker, f"job:{i}", "compute", float(i),
+                         float(i) + 0.5, 0.0, 100)
+        threads = [threading.Thread(target=work, args=(w,))
+                   for w in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        store.close()
+        got = load_store(tmp_path)
+        assert len(got.ops) == 800
+        seqs = sorted(s for s, _, _ in StoreReader(tmp_path).iter_records())
+        assert seqs == list(range(800))
+
+
+class TestBoundedMemory:
+    def test_long_run_bounds_buffer_and_open_segments(self, tmp_path):
+        flush_bytes = 512
+        store = StoreTracer(tmp_path, segment_bytes=4096,
+                            flush_bytes=flush_bytes)
+        cfg = airfoil_case(machine=sp2(nodes=4), scale=0.1, nsteps=5)
+        OverflowD1(cfg, tracer=store).run()
+        # At most one open segment per shard, ever.
+        assert store.open_segments <= len(store._writers)
+        # The flush buffer never grew past threshold + one record.
+        assert store.max_buffered_bytes < flush_bytes + 512
+        # Rotation actually happened: the trace spans many segments.
+        store.close()
+        assert store.open_segments == 0
+        segs = shard_segments(tmp_path)
+        assert max(len(paths) for paths in segs.values()) > 3
+        # And the data is still exact: spot-check via a fresh run.
+        span = SpanTracer()
+        cfg = airfoil_case(machine=sp2(nodes=4), scale=0.1, nsteps=5)
+        OverflowD1(cfg, tracer=span).run()
+        assert load_store(tmp_path).ops == span.ops
+
+
+@pytest.mark.parametrize("case_builder,name", [
+    (airfoil_case, "airfoil"),
+    (x38_case, "x38"),
+])
+class TestBitIdentity:
+    """Store-reconstructed exporter output == in-memory, byte for byte."""
+
+    def _pair(self, case_builder, tmp_path):
+        def run(tracer):
+            cfg = case_builder(machine=sp2(nodes=4), scale=0.1, nsteps=3)
+            OverflowD1(cfg, tracer=tracer).run()
+        span = SpanTracer()
+        run(span)
+        store = StoreTracer(tmp_path)
+        run(store)
+        store.close()
+        return span, load_store(tmp_path)
+
+    def test_chrome_trace_and_timeline_bytes(self, case_builder, name,
+                                             tmp_path):
+        span, stored = self._pair(case_builder, tmp_path)
+        assert chrome_trace(stored) == chrome_trace(span)
+        assert ascii_timeline(stored) == ascii_timeline(span)
+
+    def test_critical_path_and_comm_matrix(self, case_builder, name,
+                                           tmp_path):
+        from repro.obs.perf.comm_matrix import CommMatrix
+        from repro.obs.perf.critical_path import analyze_critical_path
+
+        span, stored = self._pair(case_builder, tmp_path)
+        assert (analyze_critical_path(stored).to_dict()
+                == analyze_critical_path(span).to_dict())
+        a = CommMatrix.from_tracer(stored, nranks=stored.nranks)
+        b = CommMatrix.from_tracer(span, nranks=span.nranks)
+        assert a.to_dict(top_k=5) == b.to_dict(top_k=5)
+
+
+class TestNranksAllStreams:
+    """Regression: ranks visible only in sends/recvs count toward nranks."""
+
+    def test_send_only_rank_counts(self):
+        t = SpanTracer()
+        t.op(0, "p", "compute", 0.0, 1.0)
+        # Rank 5 was black-holed before its first op: it only appears
+        # as a send destination and a recv source.
+        t.send(0.5, 0, 5, 1, 64, "p")
+        assert t.nranks == 6
+
+    def test_recv_streams_count(self):
+        t = SpanTracer()
+        t.recv(0.5, 3, 7, 1, 64, "p")
+        assert t.nranks == 8
+
+    def test_empty_is_zero(self):
+        assert SpanTracer().nranks == 0
+
+    def test_store_tracer_matches(self, tmp_path):
+        store = StoreTracer(tmp_path)
+        store.op(0, "p", "compute", 0.0, 1.0)
+        store.send(0.5, 0, 5, 1, 64, "p")
+        assert store.nranks == 6
+        store.close()
+        assert load_store(tmp_path).nranks == 6
+
+
+class TestIndex:
+    def test_index_contents(self, tmp_path):
+        store = StoreTracer(tmp_path)
+        record_script(store, nranks=2, steps=3)
+        store.close()
+        index = load_index(tmp_path)
+        assert index is not None
+        assert index["format"] == STORE_FORMAT
+        assert index["complete"] is True
+        assert index["nranks"] == 2
+        assert len(index["steps"]) == 3
+        assert index["advances"]  # one advance in the script
+        step0 = index["steps"][0]
+        assert set(step0["starts"]) == {"0", "1"}
+        assert "overflow" in step0["phase_time"]
+        assert "compute" in step0["kind_time"]
+
+    def test_step_start_offsets_point_at_step_phase_mark(self, tmp_path):
+        from pathlib import Path
+
+        from repro.obs.store.codec import KIND_PHASE
+        from repro.obs.store.segment import segment_path
+
+        store = StoreTracer(tmp_path)
+        record_script(store, nranks=2, steps=3)
+        store.close()
+        index = load_index(tmp_path)
+        for entry in index["steps"]:
+            for shard, (seg, off) in entry["starts"].items():
+                path = segment_path(Path(tmp_path), shard, seg)
+                kind, _seq, fields = next(
+                    iter_segment_records(path, last=True, start=off)
+                )
+                assert kind == KIND_PHASE
+                assert fields[2] == "overflow"

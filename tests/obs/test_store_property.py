@@ -1,0 +1,201 @@
+"""Property tests: the segment store is a faithful, crash-tolerant log.
+
+Hypothesis drives arbitrary interleavings of the five event kinds plus
+multi-epoch ``advance`` through a :class:`SpanTracer` and a
+:class:`StoreTracer` side by side, then asserts the store reads back the
+*exact* in-memory view — and that a crash (buffered tail lost, final
+segment truncated mid-frame, index torn) loses at most a per-shard
+suffix while keeping every surviving record intact and ordered.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.obs import SpanTracer  # noqa: E402
+from repro.obs.store import (  # noqa: E402
+    StoreTracer,
+    load_store,
+    shard_segments,
+)
+from repro.obs.store.writer import DRIVER_SHARD, INDEX_NAME  # noqa: E402
+
+PHASES = ("overflow", "motion", "dcf3d", "solver")
+KINDS = ("compute", "comm", "wait")
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+ranks = st.integers(min_value=0, max_value=3)
+small_int = st.integers(min_value=0, max_value=2**20)
+# Codec normalizes tuples to lists, so mark args stick to list-free
+# JSON-ish values for exact round-trip equality.
+arg_value = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-(2**40), max_value=2**40),
+    finite, st.text(max_size=8),
+)
+
+op_ev = st.tuples(
+    st.just("op"), ranks, st.sampled_from(PHASES), st.sampled_from(KINDS),
+    finite, finite, finite, small_int,
+)
+phase_ev = st.tuples(st.just("phase"), ranks, finite, st.sampled_from(PHASES))
+arg_key = st.text(min_size=1, max_size=4).filter(
+    lambda k: k not in ("t", "name")  # mark()'s positional params
+)
+mark_ev = st.tuples(
+    st.just("mark"), finite, st.text(min_size=1, max_size=8),
+    st.dictionaries(arg_key, arg_value, max_size=3),
+)
+send_ev = st.tuples(
+    st.just("send"), finite, ranks, ranks, small_int, small_int,
+    st.sampled_from(PHASES),
+)
+recv_ev = st.tuples(
+    st.just("recv"), finite, ranks, ranks, small_int, small_int,
+    st.sampled_from(PHASES),
+)
+advance_ev = st.tuples(st.just("advance"), finite)
+
+events = st.lists(
+    st.one_of(op_ev, phase_ev, mark_ev, send_ev, recv_ev, advance_ev),
+    max_size=120,
+)
+
+# Epoch bodies without interior advances, so the expected cumulative
+# offset is just the sum of the per-epoch dt values.
+events_no_advance = st.lists(
+    st.one_of(op_ev, phase_ev, mark_ev, send_ev, recv_ev), max_size=60
+)
+
+
+def apply(tracer, event):
+    kind, *rest = event
+    if kind == "op":
+        rank, phase, op_kind, t0, dur, flops, nbytes = rest
+        tracer.op(rank, phase, op_kind, t0, t0 + dur, flops, nbytes)
+    elif kind == "phase":
+        tracer.phase(*rest)
+    elif kind == "mark":
+        t, name, args = rest
+        tracer.mark(t, name, **args)
+    elif kind == "send":
+        tracer.send(*rest)
+    elif kind == "recv":
+        tracer.recv(*rest)
+    else:
+        tracer.advance(rest[0])
+
+
+def drive(tracer, sequence):
+    for event in sequence:
+        apply(tracer, event)
+    return tracer
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequence=events)
+def test_store_reads_back_exact_tracer_view(tmp_path_factory, sequence):
+    tmp = tmp_path_factory.mktemp("prop-store")
+    span = drive(SpanTracer(), sequence)
+    store = drive(StoreTracer(tmp, flush_bytes=96, segment_bytes=1024),
+                  sequence)
+    store.close()
+    got = load_store(tmp)
+    assert got.ops == span.ops
+    assert got.phase_marks == span.phase_marks
+    assert got.marks == span.marks
+    assert got.sends == span.sends
+    assert got.recvs == span.recvs
+    assert got.offset == span.offset
+    assert got.nranks == span.nranks
+    assert got.clock == span.clock
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sequence=events,
+    chop=st.integers(min_value=1, max_value=64),
+    tear_index=st.booleans(),
+)
+def test_crash_recovery_keeps_per_shard_prefixes(
+    tmp_path_factory, sequence, chop, tear_index
+):
+    tmp = tmp_path_factory.mktemp("prop-crash")
+    span = drive(SpanTracer(), sequence)
+    store = drive(StoreTracer(tmp, flush_bytes=64, segment_bytes=512),
+                  sequence)
+    # Crash: flush but never close, truncate the largest shard's final
+    # segment mid-frame, optionally tear the index too.
+    store.flush()
+    shards = shard_segments(tmp)
+    if shards:
+        victim = max(shards, key=lambda s: shards[s][-1].stat().st_size)
+        tail = shards[victim][-1]
+        blob = tail.read_bytes()
+        tail.write_bytes(blob[: max(0, len(blob) - chop)])
+    if tear_index:
+        (tmp / INDEX_NAME).write_text("{ not json")
+    if not shards and tear_index:
+        # Nothing durable survived this crash at all; the reader says so.
+        with pytest.raises(FileNotFoundError):
+            load_store(tmp)
+        return
+    got = load_store(tmp)
+
+    # Each shard's recovered stream is an exact prefix of what was
+    # recorded for that shard.
+    def ops_of(t, rank):
+        return [e for e in t.ops if e[0] == rank]
+
+    def pm_of(t, rank):
+        return [e for e in t.phase_marks if e[0] == rank]
+
+    for rank in range(max(span.nranks, got.nranks)):
+        assert ops_of(got, rank) == ops_of(span, rank)[: len(ops_of(got, rank))]
+        assert pm_of(got, rank) == pm_of(span, rank)[: len(pm_of(got, rank))]
+        got_sends = [e for e in got.sends if e[1] == rank]
+        all_sends = [e for e in span.sends if e[1] == rank]
+        assert got_sends == all_sends[: len(got_sends)]
+        got_recvs = [e for e in got.recvs if e[1] == rank]
+        all_recvs = [e for e in span.recvs if e[1] == rank]
+        assert got_recvs == all_recvs[: len(got_recvs)]
+    assert got.marks == span.marks[: len(got.marks)]  # driver shard
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    epochs=st.lists(
+        st.tuples(events_no_advance,
+                  st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False)),
+        min_size=1, max_size=4,
+    )
+)
+def test_multi_epoch_advance_offsets_match(tmp_path_factory, epochs):
+    """advance() between epochs shifts both tracers identically, and the
+    store's index records every epoch boundary."""
+    tmp = tmp_path_factory.mktemp("prop-epoch")
+    span = SpanTracer()
+    store = StoreTracer(tmp, flush_bytes=128)
+    for sequence, dt in epochs:
+        drive(span, sequence)
+        drive(store, sequence)
+        span.advance(dt)
+        store.advance(dt)
+    store.close()
+    got = load_store(tmp)
+    assert got.ops == span.ops
+    assert got.sends == span.sends
+    assert got.offset == span.offset == pytest.approx(
+        sum(dt for _, dt in epochs)
+    )
+
+
+def test_driver_shard_holds_marks_only(tmp_path):
+    store = StoreTracer(tmp_path, flush_bytes=1)
+    store.mark(0.0, "start", run=1)
+    store.op(0, "p", "compute", 0.0, 1.0)
+    store.close()
+    shards = shard_segments(tmp_path)
+    assert DRIVER_SHARD in shards and "0" in shards
