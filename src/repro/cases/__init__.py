@@ -20,8 +20,37 @@ scaling the fringe depth; see each module's notes).
 
 from repro.cases.airfoil import airfoil_case, airfoil_grids
 from repro.cases.deltawing import deltawing_case, deltawing_grids
+from repro.cases.registry import (
+    CaseEntry,
+    UnknownCaseError,
+    build_case,
+    case_entry,
+    case_names,
+    register_case,
+)
 from repro.cases.store import store_case, store_grids
 from repro.cases.x38 import x38_adaptive_system, x38_case, x38_near_body_grids
+
+register_case(
+    "airfoil",
+    airfoil_case,
+    help="2-D oscillating NACA 0012 (paper section 4.1)",
+)
+register_case(
+    "deltawing",
+    deltawing_case,
+    help="descending delta wing (paper section 4.2)",
+)
+register_case(
+    "store",
+    store_case,
+    help="finned-store separation (paper section 4.3)",
+)
+register_case(
+    "x38",
+    x38_case,
+    help="X-38-like blunt body, adaptive Cartesian scheme (section 5)",
+)
 
 __all__ = [
     "airfoil_case",
@@ -33,4 +62,10 @@ __all__ = [
     "x38_case",
     "x38_near_body_grids",
     "x38_adaptive_system",
+    "CaseEntry",
+    "UnknownCaseError",
+    "build_case",
+    "case_entry",
+    "case_names",
+    "register_case",
 ]

@@ -1,0 +1,106 @@
+"""Dynamic case registry — the single source of truth for case lookup.
+
+Every runnable case — the four checked-in paper benchmarks *and*
+generated off-body scenarios — is a :class:`CaseEntry` in one registry,
+so the CLI, ``repro bench``, and the serve daemon resolve names through
+the same path and fail with the same typed :class:`UnknownCaseError`.
+
+Two kinds of entry exist:
+
+* ``"overflow"`` — the builder returns a :class:`repro.core.CaseConfig`
+  and runs under :class:`repro.core.OverflowD1`;
+* ``"offbody"`` — the builder returns a
+  :class:`repro.offbody.OffBodyCase` and runs under
+  :class:`repro.offbody.OffBodyDriver` (scenario files register
+  themselves here when loaded).
+
+The four built-ins are registered by :mod:`repro.cases` at import time;
+``repro scenario`` output is registered on demand by
+:func:`repro.offbody.scenario.register_scenario_case`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class UnknownCaseError(ValueError):
+    """Raised when a case name is not in the registry.
+
+    Carries the offending ``name`` and the sorted tuple of ``known``
+    names so callers (CLI, serve daemon) can render a helpful message
+    without string-parsing.
+    """
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown case {name!r}; choose from {', '.join(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class CaseEntry:
+    """One runnable case: a name bound to a builder callable."""
+
+    name: str
+    builder: Callable[..., Any]
+    kind: str = "overflow"
+    help: str = ""
+    #: Extra metadata (e.g. the scenario file a generated case came
+    #: from); not interpreted by the registry.
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+_REGISTRY: dict[str, CaseEntry] = {}
+
+_KINDS = ("overflow", "offbody")
+
+
+def register_case(
+    name: str,
+    builder: Callable[..., Any],
+    *,
+    kind: str = "overflow",
+    help: str = "",
+    replace: bool = False,
+    **meta: Any,
+) -> CaseEntry:
+    """Register ``builder`` under ``name``; returns the entry.
+
+    Re-registering an existing name raises unless ``replace=True``
+    (reloading the same scenario file is a legitimate replace).
+    """
+    if kind not in _KINDS:
+        raise ValueError(f"unknown case kind {kind!r}; choose from {_KINDS}")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"case {name!r} already registered")
+    entry = CaseEntry(name=name, builder=builder, kind=kind, help=help, meta=dict(meta))
+    _REGISTRY[name] = entry
+    return entry
+
+
+def case_entry(name: str) -> CaseEntry:
+    """Look up a case; raises :class:`UnknownCaseError` on a miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownCaseError(name, tuple(sorted(_REGISTRY))) from None
+
+
+def case_names(kind: str | None = None) -> tuple[str, ...]:
+    """Sorted registered names, optionally filtered by kind."""
+    return tuple(
+        sorted(
+            name
+            for name, entry in _REGISTRY.items()
+            if kind is None or entry.kind == kind
+        )
+    )
+
+
+def build_case(name: str, **kwargs: Any) -> Any:
+    """Resolve ``name`` and invoke its builder with ``kwargs``."""
+    return case_entry(name).builder(**kwargs)

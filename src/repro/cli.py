@@ -24,6 +24,11 @@ Usage (installed as ``python -m repro``):
     python -m repro serve --workers 4 --cache-dir /var/tmp/repro-cache
     python -m repro submit airfoil --nodes 8 --scale 0.1 --steps 5
     python -m repro jobs --stats
+    python -m repro scenario --kind store-salvo --seed 7 --out scen.json
+    python -m repro run --scenario scen.json --backend mp
+    python -m repro trace --scenario scen.json
+    python -m repro trace airfoil --trace-store /tmp/st --from-step 3
+    python -m repro bench --scenario scen.json
 
 ``run``/``trace``/``bench`` accept ``--backend {sim,mp}``: ``sim`` is
 the deterministic discrete-event simulator (modeled virtual time, the
@@ -58,6 +63,15 @@ imbalance, and lands as schema-versioned canonical ``BENCH_<case>.json``;
 ``trace-diff`` classifies per-metric deltas between two such payloads
 and exits non-zero on regressions beyond tolerance — the CI perf gate.
 
+``scenario`` generates a seeded multi-body off-body case file
+(:mod:`repro.offbody`): randomized store salvos, tumbling debris or
+formation flights as canonical ``repro-scenario/1`` JSON.
+``run``/``trace``/``bench`` accept ``--scenario FILE`` to execute such
+a file with the adaptive off-body driver (Algorithm 3 grouping; see
+docs/offbody.md) instead of a built-in case.  ``trace --from-step N``
+replays only steps ``N..`` from a segment store using the index's
+per-step byte offsets.
+
 ``serve`` starts the simulation-as-a-service daemon
 (:mod:`repro.serve`): a pool of warm worker processes executes queued
 jobs over a unix socket, with ``config_sha``-keyed result caching so
@@ -73,16 +87,9 @@ import math
 import sys
 from pathlib import Path
 
-from repro.cases import airfoil_case, deltawing_case, store_case, x38_case
+from repro.cases import UnknownCaseError, case_entry, case_names
 from repro.core import OverflowD1, speedup_table
 from repro.machine import MACHINE_PRESETS
-
-CASES = {
-    "airfoil": airfoil_case,
-    "deltawing": deltawing_case,
-    "store": store_case,
-    "x38": x38_case,
-}
 
 DEFAULT_TRACE_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
 
@@ -101,12 +108,48 @@ def _machine(name: str, nodes: int):
 
 def _case(name: str, machine, scale: float, steps: int, f0: float):
     try:
-        builder = CASES[name]
-    except KeyError:
+        entry = case_entry(name)
+    except UnknownCaseError as exc:
+        raise SystemExit(str(exc))
+    if entry.kind != "overflow":
         raise SystemExit(
-            f"unknown case {name!r}; choose from {sorted(CASES)}"
+            f"case {name!r} is an off-body scenario case; "
+            f"run it via --scenario <file>"
         )
-    return builder(machine=machine, scale=scale, nsteps=steps, f0=f0)
+    return entry.builder(machine=machine, scale=scale, nsteps=steps, f0=f0)
+
+
+def _steps(args, default: int = 5) -> int:
+    """``--steps`` with a per-command default (None = not given)."""
+    steps = getattr(args, "steps", None)
+    return default if steps is None else steps
+
+
+def _scenario_case(args):
+    """Load ``--scenario FILE``, register it, build the OffBodyCase."""
+    from repro.offbody import (
+        ScenarioError,
+        load_scenario,
+        register_scenario_case,
+    )
+
+    try:
+        payload = load_scenario(args.scenario)
+    except ScenarioError as exc:
+        raise SystemExit(str(exc))
+    entry = register_scenario_case(payload, source=args.scenario)
+    kwargs = {}
+    if getattr(args, "nodes", None) is not None:
+        kwargs["nodes"] = args.nodes
+    if getattr(args, "steps", None) is not None:
+        kwargs["nsteps"] = args.steps
+    if getattr(args, "grouping", None):
+        kwargs["grouping"] = args.grouping
+    try:
+        case = entry.builder(**kwargs)
+    except (ScenarioError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    return payload, case
 
 
 def _case_name(args) -> str:
@@ -141,8 +184,12 @@ def _backend(args):
 
 
 def cmd_list(_args) -> int:
-    print("cases:    " + ", ".join(sorted(CASES)))
+    print("cases:    " + ", ".join(case_names()))
     print("machines: " + ", ".join(sorted(MACHINE_PRESETS)))
+    for name in case_names():
+        entry = case_entry(name)
+        kind = "" if entry.kind == "overflow" else f" [{entry.kind}]"
+        print(f"  {name:<12}{kind} {entry.help}")
     return 0
 
 
@@ -211,11 +258,84 @@ def _store_tracer(args, case: str, component: str):
         raise SystemExit(str(exc))
 
 
+def _print_offbody(r) -> None:
+    """Per-epoch adaptive/off-body statistics (OffBodyRunResult only)."""
+    for e in r.epochs:
+        levels = " ".join(
+            f"L{k}:{v}" for k, v in sorted(e.level_counts.items())
+        )
+        print(
+            f"epoch @ step {e.first_step}: {e.npatches} patches "
+            f"({levels}; +{e.created}/-{e.destroyed}), {e.strategy} cut "
+            f"{e.cut_points} pts / {e.cut_edges} edges "
+            f"(intra {e.intra_edges}), tau {e.balance_tau:.3f}"
+        )
+
+
+def _no_case_with_scenario(args) -> None:
+    if getattr(args, "case_pos", None) or getattr(args, "case_opt", None):
+        raise SystemExit("give either a case name or --scenario, not both")
+
+
+def _run_scenario(args) -> int:
+    """``repro run --scenario FILE``: one adaptive off-body run."""
+    from repro.offbody import OffBodyDriver
+
+    _no_case_with_scenario(args)
+    if getattr(args, "checkpoint_every", None) or \
+            getattr(args, "checkpoint_dir", None):
+        raise SystemExit(
+            "--checkpoint-* is not supported with --scenario: off-body "
+            "recovery re-derives state from prescribed motions instead "
+            "of checkpoint bytes"
+        )
+    engine = _backend(args)
+    _payload, case = _scenario_case(args)
+    print(
+        f"{case.name}: {case.n_near} near-body grids, "
+        f"{case.machine.name} x {case.machine.nodes} nodes, "
+        f"{case.nsteps} steps (adapt every {case.adapt_interval}), "
+        f"grouping={case.grouping}, backend={engine.name}"
+    )
+    tracer = _store_tracer(args, case.name, "run")
+    san = _make_sanitizer(args, tracer=tracer)
+    try:
+        try:
+            driver = OffBodyDriver(
+                case,
+                tracer=tracer,
+                sanitizer=san,
+                backend=engine,
+                fault_plan=(
+                    list(args.fault)
+                    if getattr(args, "fault", None) else None
+                ),
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        r = driver.run()
+    finally:
+        engine.close()
+        if tracer is not None:
+            tracer.close()
+    _print_run(r, measured=engine.measured)
+    _print_offbody(r)
+    if tracer is not None:
+        print(
+            f"trace store: {tracer.directory} ({tracer.records} records, "
+            f"{tracer.nranks} ranks; watch with 'repro top "
+            f"{tracer.directory}')"
+        )
+    return _finish_sanitizer(san)
+
+
 def cmd_run(args) -> int:
-    machine = _machine(args.machine, args.nodes)
+    if args.scenario:
+        return _run_scenario(args)
+    machine = _machine(args.machine, 12 if args.nodes is None else args.nodes)
     engine = _backend(args)
     case = _case_name(args)
-    cfg = _case(case, machine, args.scale, args.steps, args.f0)
+    cfg = _case(case, machine, args.scale, _steps(args), args.f0)
     print(
         f"{cfg.name}: {cfg.total_gridpoints} points, {len(cfg.grids)} "
         f"grids, {machine.name} x {machine.nodes} nodes, "
@@ -284,7 +404,7 @@ def cmd_sweep(args) -> int:
     total = None
     for nodes in node_counts:
         machine = _machine(args.machine, nodes)
-        cfg = _case(case, machine, args.scale, args.steps, args.f0)
+        cfg = _case(case, machine, args.scale, _steps(args), args.f0)
         total = cfg.total_gridpoints
         print(f"running {nodes} nodes ...", file=sys.stderr)
         runs.append(OverflowD1(cfg).run())
@@ -303,33 +423,67 @@ def cmd_trace(args) -> int:
         write_rollup_csv,
     )
 
-    machine = _machine(args.machine, args.nodes)
     engine = _backend(args)
-    case = _case_name(args)
-    cfg = _case(case, machine, args.scale, args.steps, args.f0)
+    if args.scenario:
+        _no_case_with_scenario(args)
+        _payload, cfg = _scenario_case(args)
+        case = cfg.name
+    else:
+        machine = _machine(
+            args.machine, 8 if args.nodes is None else args.nodes
+        )
+        case = _case_name(args)
+        cfg = _case(case, machine, args.scale, _steps(args), args.f0)
     out_dir = Path(args.out)
     # --trends needs per-step rollups, which come from the segment
     # store's index; default its location under the output directory.
     if args.trends and not args.trace_store:
         args.trace_store = str(out_dir / f"store_{case}")
     store = _store_tracer(args, case, "trace")
-    print(
-        f"{cfg.name}: {cfg.total_gridpoints} points, {len(cfg.grids)} "
-        f"grids, {machine.name} x {machine.nodes} nodes, tracing enabled "
-        f"({'streaming store' if store else 'in-memory'}), "
-        f"backend={engine.name}"
-    )
+    if args.from_step is not None and store is None:
+        raise SystemExit(
+            "--from-step needs --trace-store: per-step byte offsets "
+            "live in the segment store's index"
+        )
+    mode = "streaming store" if store else "in-memory"
+    if args.scenario:
+        print(
+            f"{cfg.name}: {cfg.n_near} near-body grids, "
+            f"{cfg.machine.name} x {cfg.machine.nodes} nodes, "
+            f"grouping={cfg.grouping}, tracing enabled ({mode}), "
+            f"backend={engine.name}"
+        )
+    else:
+        print(
+            f"{cfg.name}: {cfg.total_gridpoints} points, {len(cfg.grids)} "
+            f"grids, {machine.name} x {machine.nodes} nodes, tracing "
+            f"enabled ({mode}), backend={engine.name}"
+        )
     tracer = store if store is not None else SpanTracer()
     san = _make_sanitizer(args, tracer=tracer)
     try:
         try:
-            driver = OverflowD1(
-                cfg,
-                tracer=tracer,
-                sanitizer=san,
-                backend=engine,
-                **_resilience_kwargs(args),
-            )
+            if args.scenario:
+                from repro.offbody import OffBodyDriver
+
+                driver = OffBodyDriver(
+                    cfg,
+                    tracer=tracer,
+                    sanitizer=san,
+                    backend=engine,
+                    fault_plan=(
+                        list(args.fault)
+                        if getattr(args, "fault", None) else None
+                    ),
+                )
+            else:
+                driver = OverflowD1(
+                    cfg,
+                    tracer=tracer,
+                    sanitizer=san,
+                    backend=engine,
+                    **_resilience_kwargs(args),
+                )
         except ValueError as exc:
             raise SystemExit(str(exc))
         run = driver.run()
@@ -339,6 +493,7 @@ def cmd_trace(args) -> int:
             store.close()
 
     steps = []
+    reader = None
     if store is not None:
         # Reconstruct the exact in-memory view from the stream; the
         # exporters below consume it unchanged (and byte-identically).
@@ -348,22 +503,49 @@ def cmd_trace(args) -> int:
         tracer = reader.to_tracer()
         steps = reader.steps
 
-    rollup = run.rollup()
+    suffix = ""
+    rollup = None
+    if args.from_step is not None:
+        if reader is None:
+            raise SystemExit(
+                "--from-step needs --trace-store: per-step byte offsets "
+                "live in the segment store's index"
+            )
+        from repro.obs import PhaseRollup
+
+        try:
+            tracer = reader.to_tracer(from_step=args.from_step)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        suffix = f"_from{args.from_step}"
+        rollup = PhaseRollup.from_tracer(tracer)
+    if rollup is None:
+        rollup = run.rollup()
     igbp = run.igbp_rollup()
-    trace_path = write_chrome_trace(tracer, out_dir / f"trace_{case}.json")
+    trace_path = write_chrome_trace(
+        tracer, out_dir / f"trace_{case}{suffix}.json"
+    )
     csv_path = write_rollup_csv(
-        rollup, out_dir / f"trace_{case}_rollup.csv"
+        rollup, out_dir / f"trace_{case}{suffix}_rollup.csv"
     )
 
     unit = "wall" if tracer.clock == "wall" else "virtual"
     print(f"\n{len(tracer.ops)} span events over {run.elapsed:.4f} "
           f"{unit} s ({run.nsteps} steps, {len(run.epochs)} epochs)")
+    if suffix:
+        print(
+            f"partial replay from step {args.from_step}: spans, rollup "
+            f"and timeline below cover steps {args.from_step}.. only "
+            f"(exports carry the {suffix} suffix)"
+        )
     print(rollup.format_breakdown())
     ig = igbp.summary()
     print(f"\nI(p) over the last window: {ig['I']}")
     print(f"Ibar = {ig['ibar']:.2f}, max f(p) = {ig['f_max']:.3f}")
     for step, procs in run.partition_history:
         print(f"partition from step {step}: {procs}")
+    if args.scenario:
+        _print_offbody(run)
     for rec in run.recoveries:
         print(rec.describe())
     if not args.no_timeline:
@@ -426,9 +608,103 @@ def cmd_physics(args) -> int:
     return 0
 
 
+def cmd_scenario(args) -> int:
+    from repro.offbody import (
+        ScenarioError,
+        generate_scenario,
+        write_scenario,
+    )
+
+    try:
+        payload = generate_scenario(
+            args.kind, seed=args.seed, nbodies=args.nbodies
+        )
+    except ScenarioError as exc:
+        raise SystemExit(str(exc))
+    out = args.out or f"scenario-{args.kind}-{args.seed}.json"
+    path = write_scenario(payload, out)
+    run = payload["run"]
+    print(
+        f"{payload['name']}: {payload['kind']} scenario, seed "
+        f"{payload['seed']}, {len(payload['bodies'])} bodies, "
+        f"{run['nsteps']} steps on {run['machine']} x {run['nodes']} "
+        f"nodes, grouping={run['grouping']}"
+    )
+    print(f"wrote {path}  (execute with 'repro run --scenario {path}')")
+    return 0
+
+
+def _bench_scenario(args) -> int:
+    """``repro bench --scenario FILE``: off-body BENCH payload."""
+    from repro.obs.perf import scenario_bench_payload, write_bench
+    from repro.offbody import ScenarioError, load_scenario
+
+    _no_case_with_scenario(args)
+    engine = _backend(args)  # fail fast on unknown/unavailable names
+    engine.close()  # the harness builds its own; this one was a probe
+    try:
+        scn = load_scenario(args.scenario)
+    except ScenarioError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"bench {scn['name']} (scenario, {args.repeats} repeat(s), "
+        f"backend={engine.name}) ...",
+        file=sys.stderr,
+    )
+    payload = scenario_bench_payload(
+        scn,
+        repeats=args.repeats,
+        backend=engine.name,
+        grouping=args.grouping,
+    )
+    path = write_bench(payload, args.out)
+    exit_code = 0
+    sim = payload["simulated"]
+    print(
+        f"{scn['name']}: {sim['elapsed_s']:.4f} simulated s over "
+        f"{sim['nsteps']} steps on {sim['nranks']} ranks "
+        f"({payload['host']['wall_s_median']:.2f} s wall median)"
+    )
+    print(
+        f"  Mflops/node {sim['mflops_per_node']:.1f}, "
+        f"%DCF3D {sim['pct_dcf3d']:.1f}%, "
+        f"max f(p) {sim['imbalance']['f_max']:.3f}, "
+        f"comm {sim['comm']['total_messages']} msgs / "
+        f"{sim['comm']['total_bytes']} B"
+    )
+    ob = sim["offbody"]
+    for e in ob["epochs"]:
+        print(
+            f"  epoch @ step {e['first_step']}: {e['npatches']} patches "
+            f"(+{e['created']}/-{e['destroyed']}), {ob['grouping']} cut "
+            f"{e['cut_points']} pts / {e['cut_edges']} edges, "
+            f"tau {e['balance_tau']:.3f}"
+        )
+    meas = payload["host"].get("measured")
+    if meas:
+        match = "physics match" if meas["igbp_matches_simulated"] \
+            else "PHYSICS MISMATCH"
+        print(
+            f"  measured ({meas['backend']}): "
+            f"{meas['elapsed_s_median']:.4f} wall s median, "
+            f"{meas['time_per_step_s']:.4f} s/step, "
+            f"Mflops/node {meas['mflops_per_node']:.1f}, "
+            f"%DCF3D {meas['pct_dcf3d']:.1f}% [{match}]"
+        )
+        if not meas["igbp_matches_simulated"]:
+            exit_code = 1
+    if not sim["sanitizer"]["ok"]:
+        print(f"  sanitizer: FINDINGS {sim['sanitizer']['counts']}")
+        exit_code = 1
+    print(f"  wrote {path}")
+    return exit_code
+
+
 def cmd_bench(args) -> int:
     from repro.obs.perf import BENCH_CASES, run_bench
 
+    if args.scenario:
+        return _bench_scenario(args)
     case_name = _case_name(args)
     if case_name == "all":
         cases = sorted(BENCH_CASES)
@@ -716,7 +992,7 @@ def _submit_spec(args):
             machine=args.machine,
             nodes=args.nodes,
             scale=args.scale,
-            nsteps=args.steps,
+            nsteps=_steps(args),
             f0=args.f0,
             backend=getattr(args, "backend", "sim"),
         )
@@ -892,7 +1168,9 @@ def build_parser() -> argparse.ArgumentParser:
         case_args(sp)
         sp.add_argument("--machine", default="sp2")
         sp.add_argument("--scale", type=float, default=0.1)
-        sp.add_argument("--steps", type=int, default=5)
+        # None = not given: built-in cases default to 5 steps while a
+        # --scenario file's own run block wins unless overridden.
+        sp.add_argument("--steps", type=int, default=None)
         sp.add_argument("--f0", type=float, default=math.inf)
 
     def backend_opt(sp):
@@ -925,6 +1203,20 @@ def build_parser() -> argparse.ArgumentParser:
             "exits 1 on findings)",
         )
 
+    def scenario_opt(sp):
+        sp.add_argument(
+            "--scenario", metavar="FILE",
+            help="execute a generated off-body scenario file instead of "
+            "a built-in case (adaptive Cartesian patches + Algorithm 3 "
+            "grouping; see 'repro scenario' and docs/offbody.md)",
+        )
+        sp.add_argument(
+            "--grouping", choices=("algorithm3", "roundrobin"),
+            default=None,
+            help="off-body grouping strategy override for --scenario "
+            "(default: the scenario's run block, normally algorithm3)",
+        )
+
     def resilience(sp):
         sp.add_argument(
             "--fault", action="append", metavar="SPEC",
@@ -940,9 +1232,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="persist checkpoints to DIR (usable by 'repro resume')",
         )
 
-    run = sub.add_parser("run", help="one OVERFLOW-D1 simulation")
+    run = sub.add_parser(
+        "run", help="one OVERFLOW-D1 (or --scenario off-body) simulation"
+    )
     common(run)
-    run.add_argument("--nodes", type=int, default=12)
+    run.add_argument(
+        "--nodes", type=int, default=None,
+        help="node count (default 12; a --scenario file's own node "
+        "count wins unless given)",
+    )
+    scenario_opt(run)
     resilience(run)
     sanitize(run)
     backend_opt(run)
@@ -972,7 +1271,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="one traced run: Chrome trace JSON + rollup CSV + timeline",
     )
     common(trace)
-    trace.add_argument("--nodes", type=int, default=8)
+    trace.add_argument(
+        "--nodes", type=int, default=None,
+        help="node count (default 8; a --scenario file's own node "
+        "count wins unless given)",
+    )
+    scenario_opt(trace)
     resilience(trace)
     sanitize(trace)
     backend_opt(trace)
@@ -988,6 +1292,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-step trend analytics from the store index: ASCII "
         "phase-time and imbalance plots + a trends CSV (implies a "
         "segment store under --out when --trace-store is not given)",
+    )
+    trace.add_argument(
+        "--from-step", type=int, default=None, metavar="N",
+        help="replay only steps N.. from the segment store via the "
+        "index's per-step byte offsets (needs --trace-store); exports "
+        "are suffixed _fromN",
     )
     trace.set_defaults(fn=cmd_trace)
 
@@ -1014,6 +1324,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the sanitizer hook-overhead micro-benchmark",
     )
     backend_opt(bench)
+    scenario_opt(bench)
     bench.add_argument(
         "--compare", action="store_true",
         help="after each case, trace-diff the fresh payload against the "
@@ -1036,6 +1347,31 @@ def build_parser() -> argparse.ArgumentParser:
         "DIR/<case> (default: a temporary directory, discarded)",
     )
     bench.set_defaults(fn=cmd_bench)
+
+    scen = sub.add_parser(
+        "scenario",
+        help="generate a seeded multi-body off-body scenario JSON file "
+        "(execute with run/trace/bench --scenario)",
+    )
+    scen.add_argument(
+        "--kind", choices=("store-salvo", "debris", "formation"),
+        default="store-salvo",
+        help="scenario family (default store-salvo)",
+    )
+    scen.add_argument(
+        "--seed", type=int, required=True,
+        help="RNG seed; the same kind+seed always yields a "
+        "byte-identical file",
+    )
+    scen.add_argument(
+        "--nbodies", type=int, default=None,
+        help="body count override (default: a kind-specific draw)",
+    )
+    scen.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output path (default: scenario-<kind>-<seed>.json)",
+    )
+    scen.set_defaults(fn=cmd_scenario)
 
     tdiff = sub.add_parser(
         "trace-diff",

@@ -286,18 +286,13 @@ def hook_overhead_microbench(
 
 
 def _build_config(spec: BenchSpec, quick: bool) -> tuple[Any, dict[str, Any]]:
-    from repro.cases import airfoil_case, deltawing_case, store_case, x38_case
+    from repro.cases import build_case
     from repro.machine import MACHINE_PRESETS
 
-    builders = {
-        "airfoil": airfoil_case,
-        "deltawing": deltawing_case,
-        "store": store_case,
-        "x38": x38_case,
-    }
     knobs = spec.knobs(quick)
     machine = MACHINE_PRESETS[spec.machine](nodes=knobs["nodes"])
-    cfg = builders[spec.case](
+    cfg = build_case(
+        spec.case,
         machine=machine,
         scale=knobs["scale"],
         nsteps=knobs["nsteps"],
@@ -519,6 +514,138 @@ def _measured_section(
         "wall_s_all": wall_all,
         # Physics cross-check against the canonical simulated pass:
         "igbp_matches_simulated": measured_igbp == sim_igbp,
+    }
+
+
+def scenario_bench_payload(
+    scenario: dict[str, Any],
+    repeats: int = 1,
+    backend: str = "sim",
+    grouping: str | None = None,
+) -> dict[str, Any]:
+    """BENCH-style payload for a generated off-body scenario.
+
+    Mirrors :func:`bench_payload`'s ``simulated`` section (phases,
+    imbalance, critical path, comm matrix, sanitizer) so the existing
+    ``trace-diff`` classifier applies, and adds an ``offbody`` block
+    with per-epoch patch/grouping statistics.  The scenario payload
+    itself is the config — its sha keys the result.  A non-``sim``
+    ``backend`` adds a measured pass under ``host["measured"]`` with a
+    byte-level physics cross-check against the simulated run.
+    """
+    from repro.analysis import Sanitizer
+    from repro.obs import SpanTracer
+    from repro.obs.perf.comm_matrix import CommMatrix
+    from repro.obs.perf.critical_path import analyze_critical_path
+    from repro.offbody import OffBodyDriver, build_offbody_case
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    walls: list[float] = []
+    elapsed_seen: set[float] = set()
+    run = sanitizer = tracer = None
+    for _ in range(repeats):
+        case = build_offbody_case(scenario, grouping=grouping)
+        tracer = SpanTracer()
+        sanitizer = Sanitizer(tracer=tracer)
+        t0 = time.perf_counter()
+        run = OffBodyDriver(case, tracer=tracer, sanitizer=sanitizer).run()
+        walls.append(time.perf_counter() - t0)
+        elapsed_seen.add(run.elapsed)
+    assert run is not None and sanitizer is not None and tracer is not None
+    if len(elapsed_seen) != 1:  # pragma: no cover - determinism guard
+        raise RuntimeError(
+            f"simulated elapsed time varied across repeats: "
+            f"{sorted(elapsed_seen)}"
+        )
+
+    rollup = run.rollup()
+    igbp = run.igbp_rollup()
+    cp = analyze_critical_path(tracer, igbp=igbp)
+    comm = CommMatrix.from_tracer(tracer, nranks=rollup.nranks)
+    san_report = sanitizer.report()
+    signature = run.physics_signature()
+
+    simulated = {
+        "elapsed_s": run.elapsed,
+        "time_per_step_s": run.time_per_step,
+        "mflops_per_node": run.mflops_per_node,
+        "pct_dcf3d": run.pct_dcf3d,
+        "nsteps": run.nsteps,
+        "nranks": run.nprocs,
+        "phases": rollup.breakdown(),
+        "imbalance": {
+            "I": [int(v) for v in igbp.accumulated()],
+            "ibar": igbp.ibar(),
+            "f": [float(v) for v in igbp.f()],
+            "f_max": float(igbp.f().max()) if igbp.nranks else 0.0,
+        },
+        "critical_path": cp.to_dict(),
+        "comm": comm.to_dict(top_k=5),
+        "trend": {},
+        "sanitizer": {
+            "ok": san_report.ok,
+            "counts": san_report.counts(),
+            "messages_sent": san_report.messages_sent,
+            "messages_received": san_report.messages_received,
+            "wildcard_recvs": san_report.wildcard_recvs,
+            "collectives": san_report.collectives,
+        },
+        "partition_history": [
+            [step, list(procs)] for step, procs in run.partition_history
+        ],
+        "offbody": {
+            "grouping": run.epochs[0].strategy if run.epochs else None,
+            "signature_sha": config_sha(signature),
+            "epochs": [
+                {
+                    "first_step": e.first_step,
+                    "npatches": e.npatches,
+                    "created": e.created,
+                    "destroyed": e.destroyed,
+                    "cut_points": e.cut_points,
+                    "cut_edges": e.cut_edges,
+                    "intra_edges": e.intra_edges,
+                    "balance_tau": e.balance_tau,
+                }
+                for e in run.epochs
+            ],
+        },
+    }
+    host: dict[str, Any] = {
+        "repeats": repeats,
+        "wall_s_median": statistics.median(walls),
+        "wall_s_all": walls,
+    }
+    if backend not in (None, "sim"):
+        case = build_offbody_case(scenario, grouping=grouping)
+        t0 = time.perf_counter()
+        mrun = OffBodyDriver(case, backend=backend).run()
+        wall = time.perf_counter() - t0
+        host["measured"] = {
+            "backend": backend,
+            "repeats": 1,
+            "elapsed_s_median": mrun.elapsed,
+            "elapsed_s_all": [mrun.elapsed],
+            "time_per_step_s": mrun.time_per_step,
+            "mflops_per_node": mrun.mflops_per_node,
+            "pct_dcf3d": mrun.pct_dcf3d,
+            "wall_s_all": [wall],
+            "igbp_matches_simulated": canonical_json(
+                mrun.physics_signature()
+            ) == canonical_json(signature),
+        }
+
+    config = {"scenario": scenario, "grouping": grouping, "backend": backend}
+    return {
+        "schema": BENCH_SCHEMA,
+        "case": scenario["name"],
+        "quick": False,
+        "config": config,
+        "config_sha": config_sha(config),
+        "simulated": simulated,
+        "host": host,
     }
 
 

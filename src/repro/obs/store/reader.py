@@ -26,6 +26,7 @@ Three consumers, three shapes:
 from __future__ import annotations
 
 import heapq
+import itertools
 import json
 from pathlib import Path
 from typing import Any, Iterator
@@ -96,24 +97,95 @@ class StoreReader:
             for kind, seq, fields in iter_segment_records(path, last=last):
                 yield seq, kind, fields
 
-    def iter_records(self) -> Iterator[Record]:
+    def _shard_by_index(self, shard: str) -> dict[int, Path]:
+        return {
+            int(p.name.rsplit("-", 1)[1].split(".")[0]): p
+            for p in self.shards.get(shard, [])
+        }
+
+    def _iter_shard_from(
+        self, shard: str, seg: int, byte: int
+    ) -> Iterator[Record]:
+        """One shard's records starting at a (segment, byte) offset."""
+        by_index = self._shard_by_index(shard)
+        if not by_index:
+            return
+        final = max(by_index)
+        for idx in sorted(by_index):
+            if idx < seg:
+                continue
+            start = byte if idx == seg else 0
+            for kind, seq, fields in iter_segment_records(
+                by_index[idx], last=idx == final, start=start
+            ):
+                yield seq, kind, fields
+
+    def _step_starts(self, from_step: int) -> dict[str, tuple[int, int]]:
+        """Per-shard (segment, byte) start offsets for ``from_step``."""
+        steps = self.steps
+        if not steps:
+            raise ValueError(
+                f"partial replay needs a store index with per-step "
+                f"offsets; {self.directory} has none"
+            )
+        if not 0 <= from_step < len(steps):
+            raise ValueError(
+                f"from_step {from_step} out of range; store has steps "
+                f"0..{len(steps) - 1}"
+            )
+        starts = steps[from_step].get("starts", {})
+        return {s: (int(v[0]), int(v[1])) for s, v in starts.items()}
+
+    def iter_records(self, from_step: int | None = None) -> Iterator[Record]:
         """All records across shards, merged by global sequence number.
 
         Per-shard streams are already seq-sorted (the writer's counter
         is monotone), so this is a lazy k-way heap merge: O(shards)
         memory however long the trace is.
-        """
-        return heapq.merge(
-            *(self._iter_shard(shard) for shard in self.shards)
-        )
 
-    def to_tracer(self) -> SpanTracer:
+        ``from_step`` seeds each rank shard at the index's per-step
+        byte offset instead of replaying from byte zero — only the
+        bytes from that step on are read.  Shards without an offset
+        entry for the step (the rank-less ``driver`` stream, or ranks
+        that died earlier) are filtered to sequence numbers at or after
+        the earliest offset-started record, so the merged stream is
+        exactly the tail of the full replay.  Raises :class:`ValueError`
+        when the store has no index or the step is out of range.
+        """
+        if from_step is None:
+            return heapq.merge(
+                *(self._iter_shard(shard) for shard in self.shards)
+            )
+        starts = self._step_starts(from_step)
+        streams: list[Iterator[Record]] = []
+        min_seq: int | None = None
+        for shard in sorted(starts):
+            if shard not in self.shards:
+                continue
+            seg, byte = starts[shard]
+            it = self._iter_shard_from(shard, seg, byte)
+            first = next(it, None)
+            if first is None:
+                continue
+            if min_seq is None or first[0] < min_seq:
+                min_seq = first[0]
+            streams.append(itertools.chain([first], it))
+        floor = 0 if min_seq is None else min_seq
+        for shard in self.shards:
+            if shard in starts:
+                continue
+            streams.append(
+                rec for rec in self._iter_shard(shard) if rec[0] >= floor
+            )
+        return heapq.merge(*streams)
+
+    def to_tracer(self, from_step: int | None = None) -> SpanTracer:
         """Replay the merged stream into an in-memory SpanTracer."""
         tracer = SpanTracer()
         if self.index is not None:
             tracer.clock = self.index.get("clock", "virtual")
             tracer._offset = float(self.index.get("offset", 0.0))
-        for _seq, kind, fields in self.iter_records():
+        for _seq, kind, fields in self.iter_records(from_step=from_step):
             if kind == KIND_OP:
                 tracer.ops.append(tuple(fields))
             elif kind == KIND_PHASE:
@@ -136,9 +208,11 @@ class StoreReader:
         return list(self.index.get("steps", []))
 
 
-def load_store(directory: str | Path) -> SpanTracer:
+def load_store(
+    directory: str | Path, from_step: int | None = None
+) -> SpanTracer:
     """Reconstruct the SpanTracer view of a store directory."""
-    return StoreReader(directory).to_tracer()
+    return StoreReader(directory).to_tracer(from_step=from_step)
 
 
 class TailReader:

@@ -1,0 +1,1030 @@
+"""The off-body adaptive Cartesian driver (paper section 5, Algorithm 3).
+
+Runs a multi-body :class:`OffBodyCase` on a simulated (or real-process)
+machine.  The timestep loop mirrors :class:`repro.core.OverflowD1` —
+flow / motion / connectivity phases separated by barriers — but the
+grid population is *dynamic*: every ``adapt_interval`` steps the driver
+regenerates the off-body Cartesian patch layout around the moved
+near-body grids (``offbody:regen`` trace phase) and re-runs the
+Algorithm 3 grouping that packs patches into connectivity-local,
+load-balanced groups, one group per off-body rank (``offbody:group``).
+
+Rank layout
+-----------
+With ``m`` near-body grids on an ``N``-node machine, near-body grid
+``g`` runs on rank ``g`` and off-body group ``k`` on rank ``m + k``
+(so ``ngroups = N - m``; ``N >= m + 1`` is required).  Because groups
+are sized to the rank count, Algorithm 1 over the grouped unit sizes
+degenerates to one processor per unit — the driver still runs
+:func:`repro.partition.static_balance` each epoch and records its
+achieved tolerance ``tau`` as the balance report.  The per-epoch
+*regrouping* is this layer's dynamic load balancing: churned patches
+are re-packed instead of migrated.
+
+Communication
+-------------
+Donor exchange follows the DCF request/reply shape: the receiver rank
+sends one request per donor relation (``igbp_request_bytes`` per
+point), the donor rank answers (``donor_reply_bytes`` per point).
+Patch-to-patch donors are closed-form Cartesian lookups; patch-fringe
+points inside a near-body grid run the real stencil-walk
+:func:`repro.connectivity.donor_search` (charged in walk steps), and
+near-body outer-boundary points locate into patches for free.  All
+message schedules are derived from one globally sorted relation list,
+so every (src, dst, tag) channel sees the same order on both ends.
+
+Determinism: the whole step is a pure function of (case, step index),
+so private-state backends (mp) reproduce the sim backend's physics
+byte-for-byte — pinned by the backend-equivalence tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.backend import BackendResult, ExecutionBackend, get_backend
+from repro.connectivity.donorsearch import donor_search
+from repro.grids.bbox import AABB
+from repro.grids.structured import CurvilinearGrid
+from repro.machine.faults import FaultPlan, FaultSpec, RankFailure
+from repro.machine.metrics import MachineMetrics
+from repro.machine.spec import MachineSpec
+from repro.obs.rollup import IgbpRollup, PhaseRollup
+from repro.offbody.manager import OffBodyLayout, OffBodyManager
+from repro.partition.grouping import (
+    GroupingResult,
+    group_grids,
+    round_robin_grids,
+)
+from repro.partition.static_lb import static_balance
+from repro.resilience.recovery import RecoveryPolicy, run_failure_detection
+from repro.solver.workmodel import WorkModel
+
+TAG_OB_HALO = 401
+TAG_OB_REQ = 402
+TAG_OB_DONOR = 403
+
+PHASE_FLOW = "overflow"
+PHASE_MOTION = "motion"
+PHASE_DCF = "dcf3d"
+PHASE_REGEN = "offbody:regen"
+PHASE_GROUP = "offbody:group"
+
+PHASES_PER_STEP = 3
+
+#: Modeled cost of rebuilding the patch layout (per patch point) and of
+#: the grouping pass (per connectivity edge + patch) — charged as
+#: driver-level spans between epochs, like restore/repartition.
+REGEN_FLOPS_PER_POINT = 12.0
+GROUP_FLOPS_PER_EDGE = 40.0
+
+GROUPING_STRATEGIES = ("algorithm3", "roundrobin")
+
+
+@dataclass
+class OffBodyCase:
+    """A multi-body adaptive off-body case, fully described by data."""
+
+    name: str
+    machine: MachineSpec
+    near_body: tuple[CurvilinearGrid, ...]
+    #: near-body grid index -> prescribed motion (missing = static).
+    motions: dict[int, Any]
+    domain: AABB
+    base_extent: float
+    points_per_patch: int = 5
+    max_level: int = 2
+    margin: float = 0.0
+    max_brick_cells: int = 3
+    nsteps: int = 4
+    dt: float = 0.05
+    adapt_interval: int = 2
+    grouping: str = "algorithm3"
+    work: WorkModel = field(default_factory=WorkModel)
+
+    def __post_init__(self) -> None:
+        if not self.near_body:
+            raise ValueError("need at least one near-body grid")
+        if self.grouping not in GROUPING_STRATEGIES:
+            raise ValueError(
+                f"unknown grouping {self.grouping!r}; "
+                f"choose from {GROUPING_STRATEGIES}"
+            )
+        if self.machine.nodes < len(self.near_body) + 1:
+            raise ValueError(
+                f"need >= {len(self.near_body) + 1} nodes "
+                f"({len(self.near_body)} near-body grids + 1 off-body "
+                f"group), machine has {self.machine.nodes}"
+            )
+        if self.adapt_interval < 1:
+            raise ValueError("adapt_interval must be >= 1")
+
+    @property
+    def n_near(self) -> int:
+        return len(self.near_body)
+
+    def make_manager(self) -> OffBodyManager:
+        return OffBodyManager(
+            self.domain,
+            self.base_extent,
+            points_per_patch=self.points_per_patch,
+            max_level=self.max_level,
+            margin=self.margin,
+            max_brick_cells=self.max_brick_cells,
+        )
+
+
+# ----------------------------------------------------------------------
+# results
+
+
+@dataclass
+class OffBodyEpoch:
+    """One adapt epoch: fixed patch layout + grouping, N timesteps."""
+
+    first_step: int
+    nsteps: int
+    elapsed: float
+    rollup: PhaseRollup
+    igbp: IgbpRollup
+    strategy: str
+    grouping: GroupingResult
+    npatches: int
+    created: int
+    destroyed: int
+    level_counts: dict[int, int]
+    #: Donor points crossing a group boundary under this grouping.
+    cut_points: int
+    intra_edges: int
+    cut_edges: int
+    #: Algorithm-1 achieved tolerance over the grouped unit sizes.
+    balance_tau: float
+    search_steps_total: int
+    orphans_total: int
+    donors_total: int
+    #: Per-step I(p) rows (tuples of ints, one per rank) — the raw
+    #: series behind :attr:`igbp`, kept for the physics signature.
+    per_step_igbp: list[tuple[int, ...]] = field(default_factory=list)
+
+
+@dataclass
+class OffBodyRecovery:
+    """One elastic-shrink episode (off-body ranks only are expendable)."""
+
+    failed_ranks: tuple[int, ...]
+    nprocs_before: int
+    nprocs_after: int
+    step_failed: int
+    step_restored: int
+    t_failure: float
+    t_detect: float
+    t_restore: float
+    t_repartition: float
+
+    @property
+    def downtime(self) -> float:
+        return self.t_detect + self.t_restore + self.t_repartition
+
+    def describe(self) -> str:
+        return (
+            f"recovery: ranks {list(self.failed_ranks)} failed at step "
+            f"{self.step_failed} (t={self.t_failure:.4f}s); "
+            f"{self.nprocs_before}->{self.nprocs_after} ranks, epoch "
+            f"re-run from step {self.step_restored} "
+            f"(detect {self.t_detect:.4f}s + regroup "
+            f"{self.t_repartition:.4f}s)"
+        )
+
+
+@dataclass
+class OffBodyRunResult:
+    """Merged outcome of a full off-body run.
+
+    Surface-compatible with :class:`repro.core.RunResult` where the CLI
+    and analytics need it (``time_per_step``, ``mflops_per_node``,
+    ``pct_dcf3d``, ``rollup()``, ``igbp_rollup()``, ``recoveries``,
+    ``partition_history``).
+    """
+
+    case: str
+    machine: str
+    nprocs: int
+    nsteps: int
+    epochs: list[OffBodyEpoch] = field(default_factory=list)
+    recoveries: list[OffBodyRecovery] = field(default_factory=list)
+    wall_elapsed: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        return sum(e.elapsed for e in self.epochs)
+
+    @property
+    def time_per_step(self) -> float:
+        return self.elapsed / self.nsteps
+
+    @property
+    def downtime(self) -> float:
+        return sum(r.downtime for r in self.recoveries)
+
+    def phase_total(self, phase: str) -> float:
+        return sum(e.rollup.phase_total(phase) for e in self.epochs)
+
+    @property
+    def pct_dcf3d(self) -> float:
+        total = sum(e.rollup.total_seconds() for e in self.epochs)
+        if total == 0:
+            return 0.0
+        return 100.0 * self.phase_total(PHASE_DCF) / total
+
+    @property
+    def total_flops(self) -> float:
+        return sum(e.rollup.total_flops() for e in self.epochs)
+
+    @property
+    def mflops_per_node(self) -> float:
+        if self.elapsed == 0:
+            return 0.0
+        return self.total_flops / self.elapsed / self.nprocs / 1e6
+
+    @property
+    def partition_history(self) -> list[tuple[int, tuple[int, ...]]]:
+        """(first step, points per group) per epoch — the off-body
+        analogue of the near-body driver's procs-per-grid history."""
+        return [(e.first_step, e.grouping.group_points) for e in self.epochs]
+
+    def rollup(self) -> PhaseRollup:
+        if not self.epochs:
+            raise ValueError("run has no epochs")
+        merged = PhaseRollup(self.nprocs)
+        for e in self.epochs:
+            merged.merge(e.rollup)
+        return merged
+
+    def igbp_rollup(self) -> IgbpRollup:
+        merged = IgbpRollup()
+        for e in self.epochs:
+            merged.merge(e.igbp)
+        return merged
+
+    def physics_signature(self) -> dict[str, Any]:
+        """Canonical backend-independent physics digest.
+
+        Everything here is derived from integer connectivity counts and
+        the deterministic layout/grouping — identical across sim and mp
+        backends byte-for-byte (asserted by the backend tests via
+        canonical JSON).
+        """
+        return {
+            "case": self.case,
+            "nsteps": self.nsteps,
+            "epochs": [
+                {
+                    "first_step": e.first_step,
+                    "npatches": e.npatches,
+                    "created": e.created,
+                    "destroyed": e.destroyed,
+                    "levels": {str(k): v for k, v in sorted(e.level_counts.items())},
+                    "group_of": list(e.grouping.group_of),
+                    "cut_points": e.cut_points,
+                    "igbp_per_step": [list(row) for row in e.per_step_igbp],
+                    "search_steps": e.search_steps_total,
+                    "donors": e.donors_total,
+                    "orphans": e.orphans_total,
+                }
+                for e in self.epochs
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# world state
+
+
+@dataclass
+class _StepConn:
+    """Near-body coupling for one step (pure function of time+layout)."""
+
+    #: (patch, nb grid) -> patch fringe points donated by the nb grid.
+    w_pn: dict[tuple[int, int], int]
+    #: (nb grid, patch) -> nb outer-boundary points donated by the patch.
+    w_np: dict[tuple[int, int], int]
+    #: nb grid -> stencil-walk steps spent serving patch fringes.
+    search_steps: dict[int, int]
+    #: patch -> points blanked by near-body wall boxes.
+    holes: dict[int, int]
+    #: patch -> fringe points in the hole region with no donor.
+    orphans_p: dict[int, int]
+    #: nb grid -> outer points with no patch donor inside the domain.
+    orphans_n: dict[int, int]
+
+
+class _OffBodyWorld:
+    """Near-body poses + per-step connectivity versus the patch layout.
+
+    Shared by all ranks under the sim backend; copied per rank under
+    private-state backends — every method is a deterministic function
+    of absolute time, so all copies agree bit-for-bit.
+    """
+
+    def __init__(self, case: OffBodyCase) -> None:
+        self.case = case
+        self.reference = list(case.near_body)
+        self.grids = list(case.near_body)
+        self.time = 0.0
+        self._conn: tuple[tuple[float, int], _StepConn] | None = None
+        self.advance(0.0)
+
+    def advance(self, t: float) -> None:
+        grids = []
+        for gi, ref in enumerate(self.reference):
+            motion = self.case.motions.get(gi)
+            if motion is None:
+                grids.append(ref)
+            else:
+                grids.append(ref.with_coordinates(motion.at(t).apply(ref.xyz)))
+        self.grids = grids
+        self.time = t
+        self._conn = None
+
+    def body_boxes(self) -> list[AABB]:
+        return [g.bounding_box() for g in self.grids]
+
+    def connectivity(self, layout: OffBodyLayout) -> _StepConn:
+        key = (self.time, layout.epoch)
+        if self._conn is not None and self._conn[0] == key:
+            return self._conn[1]
+        conn = _step_connectivity(self.grids, layout, self.case.domain)
+        self._conn = (key, conn)
+        return conn
+
+
+def _grid_boundary_points(grid) -> np.ndarray:
+    """Boundary node coordinates of a Cartesian patch grid, (n, ndim)."""
+    ndim = grid.ndim
+    coords = grid.coordinates().reshape(-1, ndim)
+    axes = [np.arange(d) for d in grid.dims]
+    idx = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1).reshape(-1, ndim)
+    last = np.asarray(grid.dims) - 1
+    on_face = np.any((idx == 0) | (idx == last), axis=-1)
+    return coords[on_face]
+
+
+def _step_connectivity(
+    nb_grids: list[CurvilinearGrid],
+    layout: OffBodyLayout,
+    domain: AABB,
+) -> _StepConn:
+    """Hole cutting + donor search between patches and near-body grids."""
+    w_pn: dict[tuple[int, int], int] = {}
+    w_np: dict[tuple[int, int], int] = {}
+    search_steps: dict[int, int] = {}
+    holes: dict[int, int] = {}
+    orphans_p: dict[int, int] = {}
+    orphans_n: dict[int, int] = {}
+
+    patch_boxes = [g.bounding_box() for g in layout.grids]
+
+    for gi, g in enumerate(nb_grids):
+        nb_box = g.bounding_box()
+        wall_pts = [g.face_points(b.face).reshape(-1, g.ndim) for b in g.wall_faces()]
+        wall_box = None
+        if wall_pts:
+            raw = AABB.of_points(np.concatenate(wall_pts))
+            # Same shrink rule as connectivity.holecut: the wall-point
+            # box overestimates the solid, pull it in a little.
+            shrink = -0.02 * float(raw.extent.max())
+            if np.all(raw.extent + 2 * shrink > 0):
+                wall_box = raw.inflated(shrink)
+            else:
+                wall_box = raw
+
+        # Gather the fringe points of every intersecting patch and run
+        # ONE stencil-walk donor search per near-body grid — the search
+        # seeds and walks all points together, then the results are
+        # split back per patch.
+        fr_chunks: list[np.ndarray] = []
+        fr_slices: list[tuple[int, int, int]] = []
+        offset = 0
+        for pi in range(len(layout.grids)):
+            if not patch_boxes[pi].intersects(nb_box):
+                continue
+            pgrid = layout.grids[pi]
+            if wall_box is not None:
+                blanked = wall_box.contains(
+                    pgrid.coordinates().reshape(-1, pgrid.ndim)
+                )
+                nblank = int(np.sum(blanked))
+                if nblank:
+                    holes[pi] = holes.get(pi, 0) + nblank
+            fringe = _grid_boundary_points(pgrid)
+            inside = nb_box.contains(fringe)
+            if not np.any(inside):
+                continue
+            pts = fringe[inside]
+            fr_chunks.append(pts)
+            fr_slices.append((pi, offset, offset + len(pts)))
+            offset += len(pts)
+        if fr_chunks:
+            allpts = np.concatenate(fr_chunks)
+            res = donor_search(g.xyz, allpts)
+            search_steps[gi] = search_steps.get(gi, 0) + int(res.total_steps)
+            in_wall = (
+                wall_box.contains(allpts)
+                if wall_box is not None
+                else np.zeros(len(allpts), dtype=bool)
+            )
+            for pi, a, b in fr_slices:
+                found = int(np.sum(res.found[a:b]))
+                if found:
+                    w_pn[(pi, gi)] = w_pn.get((pi, gi), 0) + found
+                nlost = int(np.sum((~res.found[a:b]) & in_wall[a:b]))
+                if nlost:
+                    orphans_p[pi] = orphans_p.get(pi, 0) + nlost
+
+        # Near-body outer boundary points interpolate from the finest
+        # containing patch — closed-form Cartesian lookup, zero walk.
+        outer = [
+            g.face_points(b.face).reshape(-1, g.ndim)
+            for b in g.boundaries
+            if b.kind == "overset"
+        ]
+        if not outer:
+            continue
+        opts = np.concatenate(outer)
+        best = np.full(len(opts), -1, dtype=np.int64)
+        best_level = np.full(len(opts), -1, dtype=np.int64)
+        order = sorted(
+            range(len(layout.patches)),
+            key=lambda pi: (layout.patches[pi].level, -pi),
+        )
+        for pi in order:
+            lvl = layout.patches[pi].level
+            inside = patch_boxes[pi].contains(opts)
+            take = inside & (lvl >= best_level)
+            best[take] = pi
+            best_level[take] = lvl
+        for pi in np.unique(best[best >= 0]):
+            w_np[(gi, int(pi))] = int(np.sum(best == pi))
+        lost = (best < 0) & domain.contains(opts)
+        nlost = int(np.sum(lost))
+        if nlost:
+            orphans_n[gi] = orphans_n.get(gi, 0) + nlost
+
+    return _StepConn(
+        w_pn=w_pn, w_np=w_np, search_steps=search_steps,
+        holes=holes, orphans_p=orphans_p, orphans_n=orphans_n,
+    )
+
+
+# ----------------------------------------------------------------------
+# driver internals
+
+
+@dataclass
+class _StepStats:
+    step: int
+    igbps_received: int
+    search_steps: int
+    donors_found: int
+    orphans: int
+
+
+@dataclass
+class _EpochPlan:
+    """Everything fixed for one adapt epoch's rank programs."""
+
+    layout: OffBodyLayout
+    grouping: GroupingResult
+    strategy: str
+    nranks: int
+    n_near: int
+    balance_tau: float
+
+    def owner_of_patch(self, pi: int) -> int:
+        return self.n_near + self.grouping.group_of[pi]
+
+    def owned_patches(self, rank: int) -> list[int]:
+        if rank < self.n_near:
+            return []
+        return self.grouping.members(rank - self.n_near)
+
+
+def _donor_exchange(
+    plan: _EpochPlan, conn: _StepConn
+) -> list[tuple[int, int, int]]:
+    """Donor traffic for one step, merged per rank pair.
+
+    Returns sorted ``(recv_rank, donor_rank, points)`` triples — all
+    donor relations between two ranks coalesce into one request and one
+    reply message (the merged-sends protocol), including the intra-rank
+    entries (no message, but counted in I(p) and service work).
+    """
+    agg: dict[tuple[int, int], int] = {}
+
+    def add(recv_r: int, donor_r: int, w: int) -> None:
+        agg[(recv_r, donor_r)] = agg.get((recv_r, donor_r), 0) + w
+
+    for (i, j), w in plan.layout.weights.items():
+        add(plan.owner_of_patch(i), plan.owner_of_patch(j), w)
+    for (pi, gi), w in conn.w_pn.items():
+        add(plan.owner_of_patch(pi), gi, w)
+    for (gi, pi), w in conn.w_np.items():
+        add(gi, plan.owner_of_patch(pi), w)
+    return sorted((r, d, w) for (r, d), w in agg.items())
+
+
+def _halo_pairs(plan: _EpochPlan) -> list[tuple[int, int, int]]:
+    """Cross-rank off-body halo volumes: (rank a, rank b, points)."""
+    vol: dict[tuple[int, int], int] = {}
+    w = plan.layout.weights
+    for i, j in sorted(plan.layout.edges):
+        a, b = plan.owner_of_patch(i), plan.owner_of_patch(j)
+        if a == b:
+            continue
+        key = (min(a, b), max(a, b))
+        pts = w.get((i, j), 0) + w.get((j, i), 0)
+        vol[key] = vol.get(key, 0) + pts
+    return [(a, b, pts) for (a, b), pts in sorted(vol.items()) if pts > 0]
+
+
+@dataclass
+class _DriverState:
+    step: int
+    nranks: int
+    epochs: list = field(default_factory=list)
+    recoveries: list = field(default_factory=list)
+    vt: float = 0.0
+
+
+class OffBodyDriver:
+    """Run an :class:`OffBodyCase` on a pluggable execution backend.
+
+    Parameters mirror :class:`repro.core.OverflowD1` where they apply:
+    ``tracer`` records per-rank spans (plus the new ``offbody:regen`` /
+    ``offbody:group`` driver phases), ``fault_plan`` injects rank
+    failures (sim backend only), ``recovery_policy`` prices the
+    detection/restore/regroup episode.  There is no checkpoint file:
+    prescribed motions make the world a pure function of absolute time,
+    so recovery re-derives state instead of restoring bytes — the
+    restore cost is still charged per the policy.
+
+    Only off-body ranks are expendable: near-body grids are pinned one
+    per rank, so a failure of rank ``< n_near`` (or shrinking below
+    ``n_near + 1`` ranks) re-raises the failure.
+    """
+
+    def __init__(
+        self,
+        case: OffBodyCase,
+        tracer=None,
+        fault_plan=None,
+        recovery_policy: RecoveryPolicy | None = None,
+        sanitizer=None,
+        backend: str | ExecutionBackend = "sim",
+    ) -> None:
+        self.case = case
+        self.backend = (
+            backend
+            if isinstance(backend, ExecutionBackend)
+            else get_backend(backend)
+        )
+        if not self.backend.shared_state:
+            if sanitizer is not None:
+                raise ValueError(
+                    "the sanitizer needs the deterministic simulator; "
+                    "run with backend='sim'"
+                )
+            if fault_plan:
+                raise ValueError(
+                    "fault injection needs the deterministic simulator; "
+                    "run with backend='sim'"
+                )
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+        self.sanitizer = sanitizer
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        elif isinstance(fault_plan, (list, tuple)):
+            fault_plan = FaultPlan(fault_plan)
+        self.fault_plan = fault_plan if fault_plan else None
+        self.policy = recovery_policy or RecoveryPolicy()
+        self._pending_faults: list[FaultSpec] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> OffBodyRunResult:
+        case = self.case
+        self._pending_faults = (
+            list(self.fault_plan.faults) if self.fault_plan else []
+        )
+        world = _OffBodyWorld(case)
+        manager = case.make_manager()
+        state = _DriverState(step=0, nranks=case.machine.nodes)
+        while state.step < case.nsteps:
+            nsteps = min(case.adapt_interval, case.nsteps - state.step)
+            try:
+                self._run_epoch(state, world, manager, nsteps)
+            except RankFailure as failure:
+                state = self._recover(state, world, failure)
+        return OffBodyRunResult(
+            case=case.name,
+            machine=case.machine.name,
+            nprocs=case.machine.nodes,
+            nsteps=case.nsteps,
+            epochs=state.epochs,
+            recoveries=state.recoveries,
+            wall_elapsed=state.vt,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _plan_epoch(
+        self, state: _DriverState, world: _OffBodyWorld,
+        manager: OffBodyManager, traced: bool = True,
+    ) -> _EpochPlan:
+        """Regenerate patches + regroup; charges the driver-level spans."""
+        case = self.case
+        tracer = self.tracer if traced else None
+        machine = case.machine
+        n_near = case.n_near
+        ngroups = state.nranks - n_near
+
+        layout = manager.regenerate(world.body_boxes())
+        t_regen = machine.compute_time(
+            REGEN_FLOPS_PER_POINT * max(1, layout.total_points)
+        )
+        if tracer is not None:
+            for r in range(state.nranks):
+                tracer.phase(r, 0.0, PHASE_REGEN)
+                tracer.op(r, PHASE_REGEN, "compute", 0.0, t_regen)
+            tracer.advance(t_regen)
+            tracer.mark(
+                0.0, "offbody:regen",
+                step=state.step,
+                npatches=layout.npatches,
+                created=layout.created,
+                destroyed=layout.destroyed,
+                levels={str(k): v for k, v in sorted(layout.level_counts().items())},
+            )
+        state.vt += t_regen
+
+        edges = set(layout.edges)
+        if case.grouping == "algorithm3":
+            grouping = group_grids(list(layout.sizes), edges, ngroups)
+        else:
+            grouping = round_robin_grids(list(layout.sizes), ngroups)
+        t_group = machine.compute_time(
+            GROUP_FLOPS_PER_EDGE * max(1, len(edges) + layout.npatches)
+        )
+        # Algorithm 1 over the grouped unit sizes (near-body grids +
+        # non-empty groups): with units == ranks this assigns one
+        # processor each; its achieved tolerance is the balance report.
+        unit_sizes = [g.npoints for g in case.near_body] + [
+            p for p in grouping.group_points if p > 0
+        ]
+        sb = static_balance(unit_sizes, len(unit_sizes))
+        cut_points = grouping.cut_weight(layout.weights)
+        if tracer is not None:
+            for r in range(state.nranks):
+                tracer.phase(r, 0.0, PHASE_GROUP)
+                tracer.op(r, PHASE_GROUP, "compute", 0.0, t_group)
+            tracer.advance(t_group)
+            tracer.mark(
+                0.0, "offbody:group",
+                step=state.step,
+                strategy=case.grouping,
+                ngroups=ngroups,
+                group_points=list(grouping.group_points),
+                cut_points=cut_points,
+                imbalance=grouping.imbalance(),
+            )
+        state.vt += t_group
+
+        return _EpochPlan(
+            layout=layout,
+            grouping=grouping,
+            strategy=case.grouping,
+            nranks=state.nranks,
+            n_near=n_near,
+            balance_tau=sb.tau,
+        )
+
+    def _run_epoch(
+        self, state: _DriverState, world: _OffBodyWorld,
+        manager: OffBodyManager, nsteps: int,
+    ) -> None:
+        case = self.case
+        tracer = self.tracer
+        plan = self._plan_epoch(state, world, manager)
+        first_step = state.step
+
+        out = self._run_chunk(
+            world, plan, first_step, nsteps,
+            fault_plan=self._chunk_fault_plan(state, nsteps),
+        )
+
+        nranks = state.nranks
+        per_step = np.zeros((nsteps, nranks), dtype=np.int64)
+        search_total = 0
+        orphans_total = 0
+        donors_total = 0
+        for rank, stats in enumerate(out.returns):
+            for s, st in enumerate(stats):
+                per_step[s, rank] = st.igbps_received
+                search_total += st.search_steps
+                orphans_total += st.orphans
+                donors_total += st.donors_found
+        igbp = IgbpRollup()
+        for s in range(nsteps):
+            igbp.record(per_step[s])
+        rollup = PhaseRollup.from_metrics(MachineMetrics(list(out.metrics.ranks)))
+        elapsed = max(rm.final_clock for rm in out.metrics.ranks)
+
+        epoch = OffBodyEpoch(
+            first_step=first_step,
+            nsteps=nsteps,
+            elapsed=elapsed,
+            rollup=rollup,
+            igbp=igbp,
+            strategy=plan.strategy,
+            grouping=plan.grouping,
+            npatches=plan.layout.npatches,
+            created=plan.layout.created,
+            destroyed=plan.layout.destroyed,
+            level_counts=plan.layout.level_counts(),
+            cut_points=plan.grouping.cut_weight(plan.layout.weights),
+            intra_edges=plan.grouping.intra_group_edges(set(plan.layout.edges)),
+            cut_edges=plan.grouping.cut_edges(set(plan.layout.edges)),
+            balance_tau=plan.balance_tau,
+            search_steps_total=search_total,
+            orphans_total=orphans_total,
+            donors_total=donors_total,
+            per_step_igbp=[tuple(int(x) for x in row) for row in per_step],
+        )
+        state.epochs.append(epoch)
+        state.step = first_step + nsteps
+        if tracer is not None:
+            tracer.advance(elapsed)
+        state.vt += elapsed
+
+    # ------------------------------------------------------------------
+    # fault plumbing (mirrors OverflowD1, without checkpoint files)
+
+    def _chunk_fault_plan(
+        self, state: _DriverState, nsteps: int
+    ) -> FaultPlan | None:
+        if not self._pending_faults:
+            return None
+        specs = []
+        for f in self._pending_faults:
+            if f.rank >= state.nranks:
+                continue
+            if f.step is not None:
+                if state.step <= f.step < state.step + nsteps:
+                    specs.append(FaultSpec(
+                        rank=f.rank,
+                        phase_index=PHASES_PER_STEP * (f.step - state.step),
+                    ))
+            elif f.time is not None:
+                specs.append(FaultSpec(
+                    rank=f.rank, time=max(0.0, f.time - state.vt)
+                ))
+            else:
+                specs.append(FaultSpec(rank=f.rank, phase_index=f.phase_index))
+        return FaultPlan(specs) if specs else None
+
+    def _recover(
+        self, state: _DriverState, world: _OffBodyWorld, failure: RankFailure
+    ) -> _DriverState:
+        """Detection -> shrink -> regroup; the epoch re-runs from its start."""
+        case = self.case
+        tracer = self.tracer
+        policy = self.policy
+        old_n = state.nranks
+
+        if len(state.recoveries) >= policy.max_recoveries:
+            raise failure
+
+        t_fail_local = failure.time
+        vt_fail = state.vt + t_fail_local
+        if tracer is not None:
+            tracer.advance(t_fail_local)
+            tracer.mark(
+                0.0, "recovery",
+                failed_ranks=list(failure.failed_ranks),
+                step=state.step,
+            )
+
+        dead, t_detect = run_failure_detection(
+            case.machine.with_nodes(old_n),
+            failure.failed_ranks,
+            tracer=tracer,
+            timeout=policy.detection_timeout,
+            sanitizer=self.sanitizer,
+        )
+        if tracer is not None:
+            tracer.advance(t_detect)
+        dead_set = set(dead)
+        self._pending_faults = [
+            f for f in self._pending_faults if f.rank not in dead_set
+        ]
+        if any(r < case.n_near for r in dead_set):
+            # A near-body rank died: its grid has no other host.
+            raise failure
+        n_new = old_n - len(dead)
+        if n_new < case.n_near + 1:
+            raise failure
+
+        # "Restore" = re-derive the world at the epoch start time; the
+        # modeled cost covers re-reading body poses + layout rebuild.
+        world.advance(state.step * case.dt)
+        t_restore = policy.restore_latency
+        if tracer is not None:
+            for r in range(old_n):
+                if r not in dead_set:
+                    tracer.phase(r, 0.0, "restore")
+                    tracer.op(r, "restore", "compute", 0.0, t_restore)
+            tracer.advance(t_restore)
+
+        t_rep = policy.repartition_seconds
+        if tracer is not None:
+            for r in range(n_new):
+                tracer.phase(r, 0.0, "repartition")
+                tracer.op(r, "repartition", "compute", 0.0, t_rep)
+            tracer.advance(t_rep)
+
+        new_state = _DriverState(
+            step=state.step,
+            nranks=n_new,
+            epochs=state.epochs,
+            recoveries=state.recoveries,
+            vt=vt_fail + t_detect + t_restore + t_rep,
+        )
+        record = OffBodyRecovery(
+            failed_ranks=tuple(dead),
+            nprocs_before=old_n,
+            nprocs_after=n_new,
+            step_failed=state.step,
+            step_restored=state.step,
+            t_failure=vt_fail,
+            t_detect=t_detect,
+            t_restore=t_restore,
+            t_repartition=t_rep,
+        )
+        new_state.recoveries.append(record)
+        if tracer is not None:
+            tracer.mark(
+                0.0, "recovered",
+                step=state.step,
+                nprocs=n_new,
+            )
+        return new_state
+
+    # ------------------------------------------------------------------
+
+    def _run_chunk(
+        self,
+        world: _OffBodyWorld,
+        plan: _EpochPlan,
+        first_step: int,
+        nsteps: int,
+        fault_plan: FaultPlan | None = None,
+    ) -> BackendResult:
+        case = self.case
+        work = case.work
+        shared_state = self.backend.shared_state
+        nranks = plan.nranks
+        n_near = plan.n_near
+        halo = _halo_pairs(plan)
+        dt = case.dt
+        patch_npts = plan.layout.sizes
+
+        def program(comm):
+            rank = comm.rank
+            mine = plan.owned_patches(rank)
+            if rank < n_near:
+                grid0 = case.near_body[rank]
+                own_pts = grid0.npoints
+                flow_flops = work.flow_flops(
+                    own_pts, grid0.viscous, grid0.turbulence, grid0.ndim
+                )
+                moves = rank in case.motions
+            else:
+                own_pts = sum(patch_npts[pi] for pi in mine)
+                # Patch grids are inviscid background Cartesian blocks.
+                flow_flops = work.flow_flops(own_pts, False, False, case.domain.ndim)
+                moves = False
+            my_halo = [
+                (b if a == rank else a, pts)
+                for a, b, pts in halo
+                if rank in (a, b)
+            ]
+            stats_out: list[_StepStats] = []
+
+            for s in range(nsteps):
+                step = first_step + s
+                # ---- (1) flow solve -----------------------------------
+                yield from comm.set_phase(PHASE_FLOW)
+                if own_pts:
+                    yield from comm.compute(
+                        flops=flow_flops, points_per_node=own_pts
+                    )
+                for _ in range(work.halo_exchanges_per_step):
+                    for nbr, pts in my_halo:
+                        yield from comm.send(
+                            nbr, TAG_OB_HALO, None,
+                            nbytes=work.halo_bytes(pts),
+                        )
+                    for nbr, _pts in my_halo:
+                        yield from comm.recv(nbr, TAG_OB_HALO)
+                yield from comm.barrier()
+
+                # ---- (2) grid motion ----------------------------------
+                yield from comm.set_phase(PHASE_MOTION)
+                if moves:
+                    yield from comm.compute(flops=work.motion_flops(own_pts))
+                if rank == 0 or not shared_state:
+                    world.advance((step + 1) * dt)
+                yield from comm.barrier()
+
+                # ---- (3) domain connectivity --------------------------
+                yield from comm.set_phase(PHASE_DCF)
+                if own_pts:
+                    yield from comm.compute(
+                        flops=work.holecut_flops_per_point * own_pts
+                    )
+                conn = world.connectivity(plan.layout)
+                pairs = _donor_exchange(plan, conn)
+                my_out = [
+                    (d, w) for r, d, w in pairs if r == rank and d != rank
+                ]
+                my_in = [
+                    (r, w) for r, d, w in pairs if d == rank and r != rank
+                ]
+                received = sum(w for r, _d, w in pairs if r == rank)
+                served = sum(w for _r, d, w in pairs if d == rank)
+                # Requests out (I am the receiver asking for donors)...
+                for d, w in my_out:
+                    yield from comm.send(
+                        d, TAG_OB_REQ, None,
+                        nbytes=w * work.igbp_request_bytes,
+                    )
+                if received:
+                    yield from comm.compute(
+                        flops=received * work.igbp_request_flops
+                    )
+                # ...requests in, serviced, replies out...
+                for r, _w in my_in:
+                    yield from comm.recv(r, TAG_OB_REQ)
+                if served:
+                    yield from comm.compute(
+                        flops=served * work.igbp_service_flops
+                    )
+                for r, w in my_in:
+                    yield from comm.send(
+                        r, TAG_OB_DONOR, None,
+                        nbytes=w * work.donor_reply_bytes,
+                    )
+                # ...replies in, then interpolation on received donors.
+                for d, _w in my_out:
+                    yield from comm.recv(d, TAG_OB_DONOR)
+                if received:
+                    yield from comm.compute(
+                        flops=received * work.interp_flops_per_igbp
+                    )
+                # Walk-step work for donor searches served by my nb grid.
+                my_search = (
+                    conn.search_steps.get(rank, 0) if rank < n_near else 0
+                )
+                if my_search:
+                    yield from comm.compute(
+                        flops=work.search_flops(my_search)
+                    )
+                my_orphans = (
+                    conn.orphans_n.get(rank, 0)
+                    if rank < n_near
+                    else sum(conn.orphans_p.get(pi, 0) for pi in mine)
+                )
+                stats_out.append(_StepStats(
+                    step=step,
+                    igbps_received=received,
+                    search_steps=my_search,
+                    donors_found=received,
+                    orphans=my_orphans,
+                ))
+                yield from comm.barrier()
+            return stats_out
+
+        out = self.backend.run(
+            case.machine.with_nodes(nranks),
+            [program] * nranks,
+            tracer=self.tracer,
+            fault_plan=fault_plan,
+            sanitizer=self.sanitizer,
+        )
+        if not shared_state:
+            # Bring the driver's own world copy up to the chunk end.
+            world.advance((first_step + nsteps) * dt)
+        return out

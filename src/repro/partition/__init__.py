@@ -23,7 +23,11 @@ from repro.partition.decompose import (
 )
 from repro.partition.assignment import Partition, build_partition
 from repro.partition.dynamic_lb import DynamicRebalancer, dynamic_rebalance
-from repro.partition.grouping import GroupingResult, group_grids
+from repro.partition.grouping import (
+    GroupingResult,
+    group_grids,
+    round_robin_grids,
+)
 
 __all__ = [
     "StaticBalanceResult",
@@ -38,4 +42,5 @@ __all__ = [
     "dynamic_rebalance",
     "GroupingResult",
     "group_grids",
+    "round_robin_grids",
 ]

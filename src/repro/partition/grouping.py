@@ -56,6 +56,28 @@ class GroupingResult:
             if self.group_of[a] == self.group_of[b]
         )
 
+    def cut_edges(self, connectivity: set[tuple[int, int]]) -> int:
+        """How many connectivity edges cross a group boundary."""
+        return sum(
+            1
+            for a, b in connectivity
+            if self.group_of[a] != self.group_of[b]
+        )
+
+    def cut_weight(self, weights: dict[tuple[int, int], int]) -> int:
+        """Total weight of edges crossing group boundaries.
+
+        ``weights`` maps (i, j) grid pairs — directed or undirected, the
+        distinction does not matter here — to a communication volume
+        (e.g. donor/IGBP point counts).  The cut weight is the traffic
+        that must leave a node; Algorithm 3 exists to minimise it.
+        """
+        return sum(
+            w
+            for (a, b), w in weights.items()
+            if self.group_of[a] != self.group_of[b]
+        )
+
 
 def group_grids(
     sizes: list[int],
@@ -110,6 +132,25 @@ def group_grids(
             m = min(range(ngroups), key=lambda m: (group_pts[m], m))
             _assign(grid, m, sizes, group_of, group_pts, members)
 
+    return GroupingResult(tuple(group_of), tuple(group_pts))
+
+
+def round_robin_grids(sizes: list[int], ngroups: int) -> GroupingResult:
+    """Naive baseline: deal grids round-robin, ignoring connectivity.
+
+    This is the strawman Algorithm 3 is measured against — it spreads
+    points reasonably evenly but scatters overlapping neighbours across
+    groups, maximising inter-node donor traffic.
+    """
+    n = len(sizes)
+    if ngroups < 1:
+        raise ValueError("need at least one group")
+    if any(s <= 0 for s in sizes):
+        raise ValueError("grid sizes must be positive")
+    group_of = [i % ngroups for i in range(n)]
+    group_pts = [0] * ngroups
+    for i, m in enumerate(group_of):
+        group_pts[m] += sizes[i]
     return GroupingResult(tuple(group_of), tuple(group_pts))
 
 

@@ -53,13 +53,15 @@ class JobSpecError(ValueError):
 
 
 def _known_cases() -> dict:
-    from repro.cases import airfoil_case, deltawing_case, store_case, x38_case
+    """Runnable case builders, straight from the shared registry.
+
+    Only ``"overflow"``-kind entries are serveable: a job spec carries
+    scalar knobs (scale/nsteps/f0), not a scenario file.
+    """
+    from repro.cases import case_entry, case_names
 
     return {
-        "airfoil": airfoil_case,
-        "deltawing": deltawing_case,
-        "store": store_case,
-        "x38": x38_case,
+        name: case_entry(name).builder for name in case_names(kind="overflow")
     }
 
 

@@ -1,0 +1,116 @@
+"""Partial replay: ``StoreReader.iter_records(from_step=N)``.
+
+The index records, per step, each rank shard's (segment, byte) start
+offset.  Partial replay seeds every offset-carrying shard at its own
+step boundary — a per-shard *tail*, not a global sequence cut — and
+filters offset-less shards (the rank-less driver stream) to sequence
+numbers at or after the earliest seeded record.  The contract: the
+merged result is a seq-sorted sub-stream of the full replay, every
+seeded shard opens on the step-phase record, and ``from_step=0``
+reproduces the full replay exactly.
+"""
+
+import pytest
+
+from repro.obs.store import StoreReader, StoreTracer, load_store
+from repro.obs.store.codec import KIND_PHASE
+from repro.obs.store.writer import INDEX_NAME
+
+NRANKS = 3
+STEPS = 5
+PHASES = ("overflow", "motion", "dcf3d")
+
+
+def build_store(directory):
+    """A deterministic multi-rank store with one mark per step."""
+    store = StoreTracer(directory, flush_bytes=64)
+    t = 0.0
+    for step in range(STEPS):
+        for phase in PHASES:
+            # Every rank enters the phase before any cross-rank record
+            # is emitted — mirroring the drivers, where the step-phase
+            # mark is each rank's first record of the step.
+            for r in range(NRANKS):
+                store.phase(r, t, phase)
+            for r in range(NRANKS):
+                store.op(r, phase, "compute", t, t + 0.4 + r * 0.1,
+                         50.0, 8)
+                store.send(t, r, (r + 1) % NRANKS, 9, 256, phase)
+                store.recv(t + 0.1, (r + 1) % NRANKS, r, 9, 256, phase)
+            t += 1.0
+        store.mark(t, "step-done", step=step)
+    store.advance(t)
+    store.close()
+
+
+@pytest.fixture()
+def reader(tmp_path):
+    build_store(tmp_path)
+    return StoreReader(tmp_path)
+
+
+class TestFromStep:
+    def test_from_step_zero_is_full_replay(self, reader):
+        assert list(reader.iter_records(from_step=0)) == list(
+            reader.iter_records()
+        )
+
+    def test_tail_is_sorted_subset_of_full(self, reader):
+        full = list(reader.iter_records())
+        seqs_full = [seq for seq, _, _ in full]
+        prev_len = len(full) + 1
+        for k in range(STEPS):
+            tail = list(reader.iter_records(from_step=k))
+            seqs = [seq for seq, _, _ in tail]
+            assert seqs == sorted(seqs)
+            assert set(seqs) <= set(seqs_full)
+            # Strictly shrinking: each later step drops a step's worth.
+            assert len(tail) < prev_len
+            prev_len = len(tail)
+            # The tail is suffix-closed: every record at or after the
+            # smallest surviving seq of an offset shard survives.
+            assert tail == [rec for rec in full if rec[0] >= seqs[0]]
+
+    def test_each_seeded_shard_opens_on_step_phase(self, reader):
+        for k in range(STEPS):
+            starts = reader._step_starts(k)
+            assert set(starts) == {str(r) for r in range(NRANKS)}
+            for shard in starts:
+                seg, byte = starts[shard]
+                _seq, kind, fields = next(
+                    reader._iter_shard_from(shard, seg, byte)
+                )
+                assert kind == KIND_PHASE
+                assert fields[2] == "overflow"
+
+    def test_to_tracer_partial_view(self, reader):
+        full = reader.to_tracer()
+        part = reader.to_tracer(from_step=3)
+        assert part.phase_marks[0] == (0, 3.0 * len(PHASES), "overflow")
+        assert 0 < len(part.ops) < len(full.ops)
+        # Only the step-3 and step-4 marks survive.
+        assert [m[2]["step"] for m in part.marks] == [3, 4]
+        assert part.ops == full.ops[-len(part.ops):]
+
+    def test_load_store_passthrough(self, tmp_path):
+        build_store(tmp_path)
+        direct = StoreReader(tmp_path).to_tracer(from_step=2)
+        via = load_store(tmp_path, from_step=2)
+        assert via.ops == direct.ops
+        assert via.marks == direct.marks
+
+    def test_out_of_range_raises(self, reader):
+        with pytest.raises(ValueError, match="out of range"):
+            reader.to_tracer(from_step=STEPS)
+        with pytest.raises(ValueError, match="out of range"):
+            reader.to_tracer(from_step=-1)
+
+    def test_no_index_raises(self, tmp_path):
+        build_store(tmp_path)
+        (tmp_path / INDEX_NAME).unlink()
+        reader = StoreReader(tmp_path)
+        # Full replay still works without an index ...
+        assert list(reader.iter_records())
+        # ... but partial replay needs the per-step offsets.
+        with pytest.raises(ValueError, match="index"):
+            reader.to_tracer(from_step=1)

@@ -21,7 +21,10 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["run", "airfoil"])
         assert args.machine == "sp2"
-        assert args.nodes == 12
+        # None = "not given": cmd_run resolves 12 for built-in cases
+        # while a --scenario file's own run block wins.
+        assert args.nodes is None
+        assert args.steps is None
         assert math.isinf(args.f0)
 
 
@@ -607,3 +610,131 @@ class TestTraceDiff:
         with pytest.raises(SystemExit):
             main(["trace-diff", str(tmp_path / "no.json"),
                   str(tmp_path / "pe.json")])
+
+
+class TestScenarioCLI:
+    def _scenario(self, tmp_path):
+        path = tmp_path / "scen.json"
+        rc = main([
+            "scenario", "--kind", "store-salvo", "--seed", "3",
+            "--nbodies", "2", "--out", str(path),
+        ])
+        assert rc == 0
+        return path
+
+    def test_scenario_generation_is_deterministic(self, capsys, tmp_path):
+        a = self._scenario(tmp_path / "a")
+        out = capsys.readouterr().out
+        assert "store-salvo scenario, seed 3" in out
+        b = self._scenario(tmp_path / "b")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_scenario_requires_seed(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "--kind", "debris"])
+
+    def test_run_scenario(self, capsys, tmp_path):
+        path = self._scenario(tmp_path)
+        rc = main(["run", "--scenario", str(path), "--steps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "near-body grids" in out
+        assert "time/step" in out
+        assert "epoch @ step 0" in out
+        assert "algorithm3" in out
+
+    def test_run_scenario_grouping_override(self, capsys, tmp_path):
+        path = self._scenario(tmp_path)
+        rc = main([
+            "run", "--scenario", str(path), "--steps", "2",
+            "--grouping", "roundrobin",
+        ])
+        assert rc == 0
+        assert "grouping=roundrobin" in capsys.readouterr().out
+
+    def test_run_registers_scenario_in_case_list(self, capsys, tmp_path):
+        path = self._scenario(tmp_path)
+        assert main(["run", "--scenario", str(path), "--steps", "1"]) == 0
+        capsys.readouterr()
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "store-salvo-3" in out and "[offbody]" in out
+
+    def test_run_rejects_case_and_scenario(self, tmp_path):
+        path = self._scenario(tmp_path)
+        with pytest.raises(SystemExit, match="not both"):
+            main(["run", "airfoil", "--scenario", str(path)])
+
+    def test_run_rejects_checkpoints_with_scenario(self, tmp_path):
+        path = self._scenario(tmp_path)
+        with pytest.raises(SystemExit, match="checkpoint"):
+            main([
+                "run", "--scenario", str(path), "--checkpoint-every", "2",
+            ])
+
+    def test_run_rejects_missing_scenario_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", str(tmp_path / "no.json")])
+
+    def test_trace_scenario_writes_outputs(self, capsys, tmp_path):
+        path = self._scenario(tmp_path)
+        out_dir = tmp_path / "tr"
+        rc = main([
+            "trace", "--scenario", str(path), "--steps", "2",
+            "--out", str(out_dir), "--no-timeline",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "epoch @ step 0" in out
+        trace = out_dir / "trace_store-salvo-3.json"
+        assert trace.exists()
+        events = json.loads(trace.read_text())["traceEvents"]
+        phases = {e["name"] for e in events if e.get("ph") == "X"}
+        assert "offbody:regen" in phases and "offbody:group" in phases
+        assert (out_dir / "trace_store-salvo-3_rollup.csv").exists()
+
+    def test_trace_from_step_partial_exports(self, capsys, tmp_path):
+        out_dir = tmp_path / "tr"
+        rc = main([
+            "trace", "airfoil", "--scale", "0.05", "--steps", "3",
+            "--nodes", "4", "--trace-store", str(tmp_path / "st"),
+            "--from-step", "2", "--out", str(out_dir), "--no-timeline",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "partial replay from step 2" in out
+        assert (out_dir / "trace_airfoil_from2.json").exists()
+        assert (out_dir / "trace_airfoil_from2_rollup.csv").exists()
+
+    def test_trace_from_step_needs_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace-store"):
+            main([
+                "trace", "airfoil", "--scale", "0.05", "--steps", "2",
+                "--from-step", "1", "--out", str(tmp_path),
+                "--no-timeline",
+            ])
+
+    def test_trace_from_step_out_of_range(self, tmp_path):
+        with pytest.raises(SystemExit, match="out of range"):
+            main([
+                "trace", "airfoil", "--scale", "0.05", "--steps", "2",
+                "--nodes", "4", "--trace-store", str(tmp_path / "st"),
+                "--from-step", "9", "--out", str(tmp_path / "tr"),
+                "--no-timeline",
+            ])
+
+    def test_bench_scenario_payload(self, capsys, tmp_path):
+        path = self._scenario(tmp_path)
+        rc = main([
+            "bench", "--scenario", str(path), "--repeats", "1",
+            "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Mflops/node" in out and "epoch @ step 0" in out
+        blob = json.loads((tmp_path / "BENCH_store-salvo-3.json").read_text())
+        assert blob["schema"].startswith("repro-bench/")
+        ob = blob["simulated"]["offbody"]
+        assert ob["grouping"] == "algorithm3"
+        assert ob["epochs"] and ob["epochs"][0]["npatches"] > 0
+        assert blob["simulated"]["sanitizer"]["ok"] is True
